@@ -1,0 +1,264 @@
+(* Benchmark and figure-reproduction harness.
+
+   `dune exec bench/main.exe` regenerates every table and figure of the
+   paper's evaluation (ICDCS'07 §7) as text tables: Table 1, Figures 9-12,
+   the abstract's headline numbers, and the design-choice ablations listed
+   in DESIGN.md. `--bechamel` additionally runs micro-benchmarks of the
+   algorithms (one Bechamel test per algorithm).
+
+   Selecting experiments: `dune exec bench/main.exe -- fig9 fig11`
+   Quick mode (fewer scenarios): `dune exec bench/main.exe -- --quick` *)
+
+let known =
+  [
+    "table1"; "fig9"; "fig10"; "fig11"; "fig12"; "headline"; "ablate-rate";
+    "ablate-bstar"; "ablate-sched"; "ablate-bla-mode"; "ablate-mla-alg";
+    "ext-popularity";
+    "ext-interference"; "ext-dual"; "ext-loss"; "ext-mobility"; "ext-power";
+    "ext-standards";
+  ]
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Fmt.pr "[%s: %.1fs]@." name (Unix.gettimeofday () -. t0);
+  r
+
+(* Figures are cached so `headline` can reuse fig9a/fig10a/fig11 when both
+   are requested in the same invocation. *)
+let cache : (string, Harness.Series.figure) Hashtbl.t = Hashtbl.create 16
+
+let figure cfg id compute =
+  match Hashtbl.find_opt cache id with
+  | Some f -> f
+  | None ->
+      let f = timed id (fun () -> compute ?cfg:(Some cfg) ()) in
+      Hashtbl.replace cache id f;
+      f
+
+(* set by the CLI: directory to also write each figure as CSV *)
+let csv_dir : string option ref = ref None
+
+let print_fig f =
+  Fmt.pr "%a@." Harness.Report.pp_figure f;
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir (f.Harness.Series.id ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Harness.Report.to_csv f);
+      close_out oc;
+      Fmt.pr "[csv: %s]@." path
+
+let run_experiment cfg name =
+  let open Harness.Experiments in
+  match name with
+  | "table1" -> Fmt.pr "%a@." Harness.Report.pp_table1 (table1 ())
+  | "fig9" ->
+      print_fig (figure cfg "fig9a" fig9a);
+      print_fig (figure cfg "fig9b" fig9b);
+      print_fig (figure cfg "fig9c" fig9c)
+  | "fig10" ->
+      print_fig (figure cfg "fig10a" fig10a);
+      print_fig (figure cfg "fig10b" fig10b);
+      print_fig (figure cfg "fig10c" fig10c)
+  | "fig11" -> print_fig (figure cfg "fig11" fig11)
+  | "fig12" ->
+      print_fig (figure cfg "fig12a" fig12a);
+      print_fig (figure cfg "fig12b" fig12b);
+      print_fig (figure cfg "fig12c" fig12c)
+  | "headline" ->
+      let f9 = figure cfg "fig9a" fig9a in
+      let f10 = figure cfg "fig10a" fig10a in
+      let f11 = figure cfg "fig11" fig11 in
+      let at fig n x = Option.get (Harness.Series.mean_at fig n x) in
+      let h =
+        {
+          mla_total_load_reduction_pct =
+            Harness.Stats.pct_reduction
+              ~baseline:(at f9 "SSA" 400.)
+              ~improved:(at f9 "MLA-centralized" 400.);
+          bla_max_load_reduction_pct =
+            Harness.Stats.pct_reduction
+              ~baseline:(at f10 "SSA" 400.)
+              ~improved:(at f10 "BLA-centralized" 400.);
+          mnu_user_gain_pct =
+            Harness.Stats.pct_gain
+              ~baseline:(at f11 "SSA" 0.04)
+              ~improved:(at f11 "MNU-centralized" 0.04);
+        }
+      in
+      Fmt.pr "%a@." Harness.Report.pp_headline h
+  | "ablate-rate" -> print_fig (figure cfg "ablate-rate" ablate_rate)
+  | "ablate-bstar" -> print_fig (figure cfg "ablate-bstar" ablate_bstar)
+  | "ablate-sched" -> print_fig (figure cfg "ablate-sched" ablate_sched)
+  | "ablate-bla-mode" ->
+      print_fig (figure cfg "ablate-bla-mode" ablate_bla_mode)
+  | "ablate-mla-alg" -> print_fig (figure cfg "ablate-mla-alg" ablate_mla_alg)
+  | "ext-popularity" -> print_fig (figure cfg "ext-popularity" ext_popularity)
+  | "ext-interference" ->
+      print_fig (figure cfg "ext-interference" ext_interference)
+  | "ext-dual" -> print_fig (figure cfg "ext-dual" ext_dual)
+  | "ext-loss" -> print_fig (figure cfg "ext-loss" ext_loss)
+  | "ext-mobility" -> print_fig (figure cfg "ext-mobility" ext_mobility)
+  | "ext-power" -> print_fig (figure cfg "ext-power" ext_power)
+  | "ext-standards" -> print_fig (figure cfg "ext-standards" ext_standards)
+  | other ->
+      Fmt.epr "unknown experiment %S (known: %a)@." other
+        Fmt.(list ~sep:sp string)
+        known
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test per algorithm                   *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  let p =
+    List.hd
+      (Wlan_model.Scenario_gen.problems ~seed:99 ~n:1
+         {
+           Wlan_model.Scenario_gen.paper_default with
+           n_aps = 100;
+           n_users = 200;
+         })
+  in
+  let module C = Mcast_core in
+  let stagef f = Staged.stage (fun () -> ignore (f ())) in
+  let tests =
+    Test.make_grouped ~name:"algorithms"
+      [
+        Test.make ~name:"ssa" (stagef (fun () -> C.Ssa.run p));
+        Test.make ~name:"mla-centralized" (stagef (fun () -> C.Mla.run p));
+        Test.make ~name:"mla-distributed"
+          (stagef (fun () -> C.Distributed.mla p));
+        Test.make ~name:"bla-centralized-soft"
+          (stagef (fun () -> C.Bla.run_exn ~mode:`Soft p));
+        Test.make ~name:"bla-centralized-hard"
+          (stagef (fun () -> C.Bla.run_exn ~mode:`Hard p));
+        Test.make ~name:"bla-distributed"
+          (stagef (fun () -> C.Distributed.bla p));
+        Test.make ~name:"mnu-centralized"
+          (stagef (fun () -> C.Mnu.run (Wlan_model.Problem.with_budget p 0.05)));
+        Test.make ~name:"mnu-distributed"
+          (stagef (fun () ->
+               C.Distributed.mnu (Wlan_model.Problem.with_budget p 0.05)));
+        Test.make ~name:"reduction"
+          (stagef (fun () -> C.Reduction.cover_instance p));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Fmt.pr "@.== bechamel: per-call execution time (100 APs, 200 users)@.";
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Fmt.str "%12.0f ns/run" t
+        | _ -> "          (n/a)"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Fmt.str "r2=%.3f" r
+        | None -> ""
+      in
+      Fmt.pr "%-40s %s  %s@." name est r2)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* CLI                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let experiments_arg =
+  Arg.(
+    value & pos_all string []
+    & info [] ~docv:"EXPERIMENT"
+        ~doc:
+          "Experiments to run (default: all). Known: table1 fig9 fig10 fig11 \
+           fig12 headline ablate-rate ablate-bstar ablate-sched \
+           ablate-bla-mode.")
+
+let scenarios_arg =
+  Arg.(
+    value & opt int 40
+    & info [ "scenarios" ] ~doc:"Random scenarios per point.")
+
+let small_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "small-scenarios" ]
+        ~doc:"Scenarios per point for fig12 (ILP-bound).")
+
+let seed_arg = Arg.(value & opt int 2007 & info [ "seed" ] ~doc:"Master seed.")
+
+let node_limit_arg =
+  Arg.(
+    value & opt int 4000
+    & info [ "node-limit" ]
+        ~doc:"Branch-and-bound node budget per exact solve.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Fast pass: 5 scenarios, 2 small.")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each figure as DIR/<id>.csv.")
+
+let bechamel_arg =
+  Arg.(
+    value & flag
+    & info [ "bechamel" ] ~doc:"Also run Bechamel micro-benchmarks.")
+
+let main names scenarios small seed node_limit quick csv bech =
+  csv_dir := csv;
+  let cfg =
+    {
+      Harness.Experiments.scenarios = (if quick then 5 else scenarios);
+      small_scenarios = (if quick then 2 else small);
+      seed;
+      ilp_node_limit = node_limit;
+    }
+  in
+  let names =
+    match names with
+    | [] ->
+        [
+          "table1"; "fig9"; "fig10"; "fig11"; "fig12"; "headline";
+          "ablate-rate"; "ablate-bstar"; "ablate-sched"; "ablate-bla-mode";
+          "ablate-mla-alg"; "ext-popularity"; "ext-interference"; "ext-dual";
+          "ext-loss"; "ext-mobility"; "ext-power"; "ext-standards";
+        ]
+    | ns -> ns
+  in
+  Fmt.pr "wlan-mcast benchmark harness: %d scenarios/point, seed %d@."
+    cfg.Harness.Experiments.scenarios cfg.Harness.Experiments.seed;
+  let t0 = Unix.gettimeofday () in
+  List.iter (run_experiment cfg) names;
+  if bech then bechamel_benchmarks ();
+  Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+
+let cmd =
+  Cmd.v
+    (Cmd.info "wlan-mcast-bench"
+       ~doc:
+         "Reproduce the tables and figures of the ICDCS'07 multicast \
+          association-control paper")
+    Term.(
+      const main $ experiments_arg $ scenarios_arg $ small_arg $ seed_arg
+      $ node_limit_arg $ quick_arg $ csv_arg $ bechamel_arg)
+
+let () = exit (Cmd.eval cmd)

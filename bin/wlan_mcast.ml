@@ -1,0 +1,292 @@
+(* wlan-mcast: command-line front end for the multicast association-control
+   library.
+
+   Subcommands:
+     solve     generate a random WLAN and run one or all algorithms
+     simulate  full discrete-event run: scan, associate over the air, stream
+     example   replay the paper's Figure 1 walk-throughs
+
+   Try:
+     dune exec bin/wlan_mcast.exe -- solve --aps 100 --users 200
+     dune exec bin/wlan_mcast.exe -- solve --algorithm mnu --budget 0.05
+     dune exec bin/wlan_mcast.exe -- simulate --policy distributed-bla
+     dune exec bin/wlan_mcast.exe -- example *)
+
+open Cmdliner
+open Wlan_model
+open Mcast_core
+
+(* ---------------- logging ---------------- *)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let verbose_term =
+  let doc = "Enable debug logging of algorithm internals." in
+  Term.(
+    const setup_logs $ Arg.(value & flag & info [ "verbose"; "v" ] ~doc))
+
+(* ---------------- shared scenario options ---------------- *)
+
+type net_opts = {
+  aps : int;
+  users : int;
+  sessions : int;
+  rate : float;
+  budget : float;
+  area : float;
+  seed : int;
+}
+
+let net_term =
+  let aps = Arg.(value & opt int 50 & info [ "aps" ] ~doc:"Number of APs.") in
+  let users =
+    Arg.(value & opt int 100 & info [ "users" ] ~doc:"Number of users.")
+  in
+  let sessions =
+    Arg.(value & opt int 5 & info [ "sessions" ] ~doc:"Number of multicast sessions.")
+  in
+  let rate =
+    Arg.(value & opt float 1.0 & info [ "stream-rate" ] ~doc:"Session stream rate (Mbps).")
+  in
+  let budget =
+    Arg.(value & opt float 0.9 & info [ "budget" ] ~doc:"Per-AP multicast load limit.")
+  in
+  let area =
+    Arg.(value & opt float 1095.4 & info [ "area" ] ~doc:"Deployment area side (m).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let mk aps users sessions rate budget area seed =
+    { aps; users; sessions; rate; budget; area; seed }
+  in
+  Term.(const mk $ aps $ users $ sessions $ rate $ budget $ area $ seed)
+
+let scenario_io_terms =
+  let load =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"FILE"
+          ~doc:"Load the WLAN from a saved scenario file instead of                 generating one (see --save-scenario).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-scenario" ] ~docv:"FILE"
+          ~doc:"Write the scenario to FILE for exact replay later.")
+  in
+  (load, save)
+
+let scenario_of (o : net_opts) =
+  let cfg =
+    {
+      Scenario_gen.paper_default with
+      n_aps = o.aps;
+      n_users = o.users;
+      n_sessions = o.sessions;
+      session_rate_mbps = o.rate;
+      budget = o.budget;
+      area_w = o.area;
+      area_h = o.area;
+    }
+  in
+  let rng = Random.State.make [| o.seed |] in
+  Scenario_gen.generate ~rng cfg
+
+(* ---------------- solve ---------------- *)
+
+let algorithms =
+  [
+    ("ssa", fun p -> Ssa.run p);
+    ("mla", fun p -> Mla.run p);
+    ("mla-distributed", fun p -> fst (Distributed.mla p));
+    ("bla", fun p -> Bla.run_exn ~mode:`Hard p);
+    ("bla-soft", fun p -> Bla.run_exn ~mode:`Soft p);
+    ("bla-distributed", fun p -> fst (Distributed.bla p));
+    ("mnu", fun p -> Mnu.run p);
+    ("mnu-distributed", fun p -> fst (Distributed.mnu p));
+  ]
+
+let solve_cmd =
+  let algorithm =
+    Arg.(
+      value & opt string "all"
+      & info [ "algorithm"; "a" ]
+          ~doc:"Algorithm: all, ssa, mla, mla-distributed, bla, bla-soft, \
+                bla-distributed, mnu, mnu-distributed.")
+  in
+  let show_assoc =
+    Arg.(value & flag & info [ "show-association" ] ~doc:"Print the user->AP map.")
+  in
+  let load, save = scenario_io_terms in
+  let run () net load save algorithm show_assoc =
+    let sc =
+      match load with
+      | Some path -> Scenario_io.of_file path
+      | None -> scenario_of net
+    in
+    Option.iter (fun path -> Scenario_io.to_file path sc) save;
+    let p = Scenario.to_problem sc in
+    Fmt.pr "%a@.%a@.@." Scenario.pp sc Problem.pp p;
+    let selected =
+      if algorithm = "all" then algorithms
+      else
+        match List.assoc_opt algorithm algorithms with
+        | Some f -> [ (algorithm, f) ]
+        | None ->
+            Fmt.epr "unknown algorithm %S@." algorithm;
+            exit 1
+    in
+    List.iter
+      (fun (_, f) ->
+        let sol = f p in
+        Fmt.pr "%a@." Solution.pp sol;
+        if show_assoc then Fmt.pr "  %a@." Association.pp sol.Solution.assoc)
+      selected
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run association-control algorithms on a random WLAN")
+    Term.(
+      const run $ verbose_term $ net_term $ load $ save $ algorithm
+      $ show_assoc)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let policy =
+    Arg.(
+      value & opt string "distributed-mla"
+      & info [ "policy" ]
+          ~doc:"Association policy: ssa, distributed-mla, distributed-bla, \
+                simultaneous-mla, static-mla (centralized, pushed).")
+  in
+  let window =
+    Arg.(value & opt float 1.0 & info [ "window" ] ~doc:"Streaming window (s).")
+  in
+  let load, save = scenario_io_terms in
+  let run () net load save policy window =
+    let sc =
+      match load with
+      | Some path -> Scenario_io.of_file path
+      | None -> scenario_of net
+    in
+    Option.iter (fun path -> Scenario_io.to_file path sc) save;
+    let p = Scenario.to_problem sc in
+    let pol =
+      match policy with
+      | "ssa" -> Wlan_sim.Runner.Ssa_policy
+      | "distributed-mla" ->
+          Wlan_sim.Runner.Distributed_policy
+            {
+              objective = Distributed.Min_total_load;
+              mode = Wlan_sim.Runner.Sequential;
+              max_passes = 40;
+            }
+      | "distributed-bla" ->
+          Wlan_sim.Runner.Distributed_policy
+            {
+              objective = Distributed.Min_load_vector;
+              mode = Wlan_sim.Runner.Sequential;
+              max_passes = 40;
+            }
+      | "simultaneous-mla" ->
+          Wlan_sim.Runner.Distributed_policy
+            {
+              objective = Distributed.Min_total_load;
+              mode = Wlan_sim.Runner.Simultaneous;
+              max_passes = 40;
+            }
+      | "static-mla" ->
+          Wlan_sim.Runner.Static_policy (Mla.run p).Solution.assoc
+      | other ->
+          Fmt.epr "unknown policy %S@." other;
+          exit 1
+    in
+    let r = Wlan_sim.Runner.run ~streaming_window:window ~policy:pol sc in
+    Fmt.pr "%a@.@." Scenario.pp sc;
+    Fmt.pr
+      "policy %s: %d/%d users served@.\
+       passes %d, converged %b, oscillated %b@.\
+       %d events over %.3f s of virtual time@.\
+       analytic: total %.4f, max %.4f@.\
+       measured: total %.4f, max %.4f@."
+      policy r.Wlan_sim.Runner.solution.Solution.satisfied net.users
+      r.Wlan_sim.Runner.passes r.Wlan_sim.Runner.converged
+      r.Wlan_sim.Runner.oscillated r.Wlan_sim.Runner.events
+      r.Wlan_sim.Runner.sim_time
+      (Array.fold_left ( +. ) 0. r.Wlan_sim.Runner.analytic_loads)
+      (Array.fold_left Float.max 0. r.Wlan_sim.Runner.analytic_loads)
+      (Array.fold_left ( +. ) 0. r.Wlan_sim.Runner.measured_loads)
+      (Array.fold_left Float.max 0. r.Wlan_sim.Runner.measured_loads)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Full discrete-event simulation: scan, associate, stream, measure")
+    Term.(const run $ verbose_term $ net_term $ load $ save $ policy $ window)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let load, save = scenario_io_terms in
+  let run () net load save =
+    let sc =
+      match load with
+      | Some path -> Scenario_io.of_file path
+      | None -> scenario_of net
+    in
+    Option.iter (fun path -> Scenario_io.to_file path sc) save;
+    let p = Scenario.to_problem sc in
+    Fmt.pr "%a@.@.%a@.@." Scenario.pp sc Topology_stats.pp
+      (Topology_stats.of_problem p);
+    (* channel plan feasibility under 12 and 3 channels *)
+    let cs = 2. *. Rate_table.range sc.Scenario.rate_table in
+    let edges = Channels.conflict_edges ~range:cs sc.Scenario.ap_pos in
+    List.iter
+      (fun n_channels ->
+        let a = Channels.color ~n_channels ~n_aps:(Scenario.n_aps sc) edges in
+        Fmt.pr "%d channels: %a@." n_channels Channels.pp a)
+      [ 12; 3 ];
+    (* algorithm comparison summary *)
+    Fmt.pr "@.%a@.%a@.%a@." Solution.pp (Ssa.run p) Solution.pp (Mla.run p)
+      Solution.pp
+      (Bla.run_exn ~mode:`Hard p)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Deployment statistics: coverage, overlap, rates, channel plan,              and a quick algorithm comparison")
+    Term.(const run $ verbose_term $ net_term $ load $ save)
+
+(* ---------------- example ---------------- *)
+
+let example_cmd =
+  let run () =
+    let heavy = Examples.fig1 ~session_rate_mbps:3. in
+    let light = Examples.fig1 ~session_rate_mbps:1. in
+    Fmt.pr "Figure 1 at 3 Mbps (MNU regime):@.";
+    List.iter
+      (fun (n, f) -> Fmt.pr "  %-18s %a@." n Solution.pp (f heavy))
+      [ ("ssa", Ssa.run); ("mnu", Mnu.run);
+        ("mnu-distributed", fun p -> fst (Distributed.mnu p)) ];
+    Fmt.pr "Figure 1 at 1 Mbps (BLA/MLA regime):@.";
+    List.iter
+      (fun (n, f) -> Fmt.pr "  %-18s %a@." n Solution.pp (f light))
+      [
+        ("mla", Mla.run);
+        ("bla", fun p -> Bla.run_exn p);
+        ("bla-distributed", fun p -> fst (Distributed.bla p));
+      ]
+  in
+  Cmd.v
+    (Cmd.info "example" ~doc:"Replay the paper's Figure 1 walk-throughs")
+    Term.(const run $ const ())
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "wlan-mcast"
+             ~doc:"Multicast association control for large-scale WLANs \
+                   (ICDCS'07 reproduction)")
+          [ solve_cmd; simulate_cmd; analyze_cmd; example_cmd ]))

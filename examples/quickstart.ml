@@ -1,0 +1,60 @@
+(* Quickstart: the paper's running example (Figure 1), solved with every
+   algorithm in the library.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Wlan_model
+open Mcast_core
+
+let () =
+  Fmt.pr "=== The paper's Figure 1 WLAN ===@.";
+  Fmt.pr
+    "Two APs, five users. u1,u3 watch session s1; u2,u4,u5 watch s2.@.@.";
+
+  (* -------------------------------------------------------------- *)
+  (* Scenario 1: 3 Mbps streams — too heavy to serve everyone (MNU)  *)
+  (* -------------------------------------------------------------- *)
+  let heavy = Examples.fig1 ~session_rate_mbps:3. in
+  Fmt.pr "--- 3 Mbps streams: not everyone fits (the MNU regime) ---@.";
+
+  let ssa = Ssa.run heavy in
+  Fmt.pr "%a@.  association: %a@.@." Solution.pp ssa Association.pp
+    ssa.Solution.assoc;
+
+  let mnu = Mnu.run heavy in
+  Fmt.pr "%a@.  association: %a@.@." Solution.pp mnu Association.pp
+    mnu.Solution.assoc;
+
+  let dmnu, outcome = Distributed.mnu heavy in
+  Fmt.pr "%a  (converged in %d rounds)@.  association: %a@.@." Solution.pp
+    dmnu outcome.Distributed.rounds Association.pp dmnu.Solution.assoc;
+
+  (match Optimal.mnu heavy with
+  | Some v ->
+      Fmt.pr "optimal (ILP): %d users served%s@.@." v.Optimal.value
+        (if v.Optimal.proved_optimal then " (proved)" else "")
+  | None -> Fmt.pr "optimal (ILP): nothing servable@.@.");
+
+  (* -------------------------------------------------------------- *)
+  (* Scenario 2: 1 Mbps streams — everyone fits; balance or minimize *)
+  (* -------------------------------------------------------------- *)
+  let light = Examples.fig1 ~session_rate_mbps:1. in
+  Fmt.pr "--- 1 Mbps streams: serve everyone, balance or minimize load ---@.";
+
+  let mla = Mla.run light in
+  Fmt.pr "%a  <- CostSC greedy, total 7/12 is the optimum here@.@."
+    Solution.pp mla;
+
+  let bla = Bla.run_exn light in
+  Fmt.pr "%a  <- iterated-MCG cover@.@." Solution.pp bla;
+
+  let dbla, _ = Distributed.bla light in
+  Fmt.pr "%a  <- distributed BLA finds the optimal max load 1/2@.@."
+    Solution.pp dbla;
+
+  (match Optimal.bla light with
+  | Some v -> Fmt.pr "optimal max load (ILP): %.4f@." v.Optimal.value
+  | None -> ());
+  match Optimal.mla light with
+  | Some v -> Fmt.pr "optimal total load (exact cover): %.4f@." v.Optimal.value
+  | None -> ()

@@ -1,0 +1,227 @@
+(** Distributed association control (§4.2, §5.2, §6.2).
+
+    Each user periodically queries its neighbor APs for the sessions they
+    transmit and the rates, computes what each AP's load would become if it
+    joined (and what its current AP's load would become if it left), and
+    re-associates according to the objective:
+
+    - {b MNU / MLA rule} ([Min_total_load]): join the feasible neighbor AP
+      that minimizes the {e total} load of the neighborhood — every user
+      tries to consume as little of the shared airtime as possible.
+    - {b BLA rule} ([Min_load_vector]): join the feasible neighbor AP that
+      minimizes the neighborhood's load vector sorted in non-increasing
+      order, compared lexicographically (footnote 5).
+
+    Ties are broken by signal strength, then by lower AP index. A served
+    user only moves when the move {e strictly} improves its objective; an
+    unserved user joins the best feasible AP outright.
+
+    Three decision schedulers:
+    - [Sequential]: users decide one at a time — always converges on a
+      static network (Lemmas 1 and 2: every move strictly decreases a global
+      potential drawn from a finite set of values).
+    - [Simultaneous]: all users decide on the same snapshot, then all apply.
+      May oscillate forever (the paper's Fig. 4 two-user swap); we detect
+      revisited states and report [oscillated = true].
+    - [Locked]: the paper's §8 future-work fix, implemented here. A user
+      must lock every AP in its neighborhood before deciding; users whose
+      neighborhood overlaps an already-locked AP sit the round out. Granted
+      users decide on live state, so each applied move strictly improves the
+      potential and convergence is restored even with concurrency. *)
+
+open Wlan_model
+
+let src = Logs.Src.create "mcast.distributed" ~doc:"Distributed association"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type objective = Min_total_load | Min_load_vector
+type scheduler = Sequential | Simultaneous | Locked
+
+type outcome = {
+  assoc : Association.t;
+  rounds : int;  (** decision rounds executed *)
+  moves : int;  (** total (re)associations applied *)
+  converged : bool;  (** a full round made no move *)
+  oscillated : bool;  (** a previously seen state recurred (Simultaneous) *)
+}
+
+
+(* Hypothetical load of neighbor AP [b] if [user] moves from [old_ap] to
+   [new_ap]; [loads] caches current loads of unaffected APs. *)
+let hypothetical_load p assoc ~loads ~user ~old_ap ~new_ap b =
+  if b = new_ap then Loads.load_if_joins p assoc ~user ~ap:b
+  else if b = old_ap then Loads.load_if_leaves p assoc ~user ~ap:b
+  else loads.(b)
+
+(* Objective value of user [u]'s neighborhood after a hypothetical move.
+   Total-load objective: scalar sum boxed in a 1-element array so both
+   objectives compare via lexicographic vector order. *)
+let eval p assoc ~loads ~objective ~user ~neighbors ~old_ap ~new_ap =
+  let neighborhood =
+    List.map
+      (fun b -> hypothetical_load p assoc ~loads ~user ~old_ap ~new_ap b)
+      neighbors
+  in
+  match objective with
+  | Min_total_load -> [| List.fold_left ( +. ) 0. neighborhood |]
+  | Min_load_vector -> Loads.sorted_load_vector (Array.of_list neighborhood)
+
+let vec_lt a b = Loads.compare_load_vectors_eps a b < 0
+let vec_approx_equal a b =
+  Array.length a = Array.length b && Loads.compare_load_vectors_eps a b = 0
+
+(** The local decision of user [u]: [Some ap] when [u] should (re)associate
+    with [ap], [None] to stay put. [loads] must be the current AP loads. *)
+let decide p assoc ~loads ~objective u =
+  let neighbors = Problem.neighbor_aps p u in
+  match neighbors with
+  | [] -> None
+  | _ ->
+      let current = assoc.(u) in
+      let old_ap = current in
+      let feasible a =
+        a = current
+        || Loads.load_if_joins p assoc ~user:u ~ap:a
+           <= Problem.ap_budget p a +. 1e-12
+      in
+      let candidates = List.filter feasible neighbors in
+      let scored =
+        List.map
+          (fun a ->
+            ( a,
+              eval p assoc ~loads ~objective ~user:u ~neighbors ~old_ap
+                ~new_ap:a ))
+          candidates
+      in
+      (match scored with
+      | [] -> None
+      | _ ->
+          (* best score; ties by stronger signal, then lower index *)
+          let best =
+            List.fold_left
+              (fun (ba, bv) (a, v) ->
+                if vec_lt v bv then (a, v)
+                else if
+                  vec_approx_equal v bv
+                  && Problem.(p.signal.(a).(u) > p.signal.(ba).(u) +. 1e-12)
+                then (a, v)
+                else (ba, bv))
+              (List.hd scored) (List.tl scored)
+          in
+          let best_ap, best_v = best in
+          if current = Association.none then
+            (* unserved: any feasible AP grants service *)
+            Some best_ap
+          else if best_ap <> current then begin
+            (* served: move only on strict improvement over staying *)
+            let stay_v =
+              eval p assoc ~loads ~objective ~user:u ~neighbors ~old_ap
+                ~new_ap:current
+            in
+            if vec_lt best_v stay_v then Some best_ap else None
+          end
+          else None)
+
+let apply p assoc loads ~user ~ap =
+  let old_ap = assoc.(user) in
+  assoc.(user) <- ap;
+  loads.(ap) <- Loads.ap_load p assoc ~ap;
+  if old_ap <> Association.none && old_ap <> ap then
+    loads.(old_ap) <- Loads.ap_load p assoc ~ap:old_ap
+
+let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
+  let _, n_users = Problem.dims p in
+  let assoc =
+    match init with
+    | Some a -> Association.copy a
+    | None -> Association.empty ~n_users
+  in
+  let loads = Loads.ap_loads p assoc in
+  let moves = ref 0 in
+  let rounds = ref 0 in
+  let converged = ref false in
+  let oscillated = ref false in
+  (match scheduler with
+  | Sequential ->
+      while (not !converged) && !rounds < max_rounds do
+        incr rounds;
+        let moved = ref false in
+        for u = 0 to n_users - 1 do
+          match decide p assoc ~loads ~objective u with
+          | None -> ()
+          | Some ap ->
+              apply p assoc loads ~user:u ~ap;
+              incr moves;
+              moved := true
+        done;
+        if not !moved then converged := true
+      done
+  | Simultaneous ->
+      let seen = Hashtbl.create 64 in
+      Hashtbl.replace seen (Array.to_list assoc) ();
+      while (not !converged) && (not !oscillated) && !rounds < max_rounds do
+        incr rounds;
+        let decisions =
+          List.init n_users (fun u ->
+              (u, decide p assoc ~loads ~objective u))
+          |> List.filter_map (fun (u, d) ->
+                 match d with Some ap -> Some (u, ap) | None -> None)
+        in
+        if decisions = [] then converged := true
+        else begin
+          List.iter (fun (u, ap) -> assoc.(u) <- ap) decisions;
+          moves := !moves + List.length decisions;
+          Array.iteri (fun a _ -> loads.(a) <- Loads.ap_load p assoc ~ap:a) loads;
+          let key = Array.to_list assoc in
+          if Hashtbl.mem seen key then oscillated := true
+          else Hashtbl.replace seen key ()
+        end
+      done
+  | Locked ->
+      (* Locks held by users that committed a move stay held until the end
+         of the round (their neighborhoods must not be re-read by peers);
+         users that decide to stay release immediately. The scan origin
+         rotates every round so no user starves behind a habitual locker. *)
+      while (not !converged) && !rounds < max_rounds do
+        let locked = Array.make (fst (Problem.dims p)) false in
+        let moved = ref false in
+        let offset = if n_users = 0 then 0 else !rounds mod n_users in
+        incr rounds;
+        for i = 0 to n_users - 1 do
+          let u = (i + offset) mod n_users in
+          let neighbors = Problem.neighbor_aps p u in
+          if neighbors <> [] && List.for_all (fun a -> not locked.(a)) neighbors
+          then begin
+            (* acquire locks, decide on live state *)
+            List.iter (fun a -> locked.(a) <- true) neighbors;
+            match decide p assoc ~loads ~objective u with
+            | None -> List.iter (fun a -> locked.(a) <- false) neighbors
+            | Some ap ->
+                apply p assoc loads ~user:u ~ap;
+                incr moves;
+                moved := true
+          end
+        done;
+        if not !moved then converged := true
+      done);
+  Log.debug (fun m ->
+      m "finished: rounds %d, moves %d, converged %b, oscillated %b" !rounds
+        !moves !converged !oscillated);
+  { assoc; rounds = !rounds; moves = !moves; converged = !converged;
+    oscillated = !oscillated }
+
+(** {1 The paper's three distributed algorithms} *)
+
+let mnu ?init ?max_rounds ?(scheduler = Sequential) p =
+  let o = run ?init ?max_rounds ~scheduler ~objective:Min_total_load p in
+  (Solution.make ~algorithm:"MNU-distributed" p o.assoc, o)
+
+(** Distributed MLA is the same local rule as distributed MNU (§6.2). *)
+let mla ?init ?max_rounds ?(scheduler = Sequential) p =
+  let o = run ?init ?max_rounds ~scheduler ~objective:Min_total_load p in
+  (Solution.make ~algorithm:"MLA-distributed" p o.assoc, o)
+
+let bla ?init ?max_rounds ?(scheduler = Sequential) p =
+  let o = run ?init ?max_rounds ~scheduler ~objective:Min_load_vector p in
+  (Solution.make ~algorithm:"BLA-distributed" p o.assoc, o)

@@ -1,0 +1,73 @@
+(** Distributed association control (§4.2, §5.2, §6.2): users query their
+    neighbor APs and re-associate greedily.
+
+    - [Min_total_load] (MNU and MLA): join the feasible neighbor that
+      minimizes the neighborhood's total load.
+    - [Min_load_vector] (BLA): minimize the neighborhood's non-increasing
+      load vector, compared lexicographically (footnote 5).
+
+    Schedulers: [Sequential] decisions always converge (Lemmas 1–2);
+    [Simultaneous] decisions can oscillate (Fig. 4) — revisited states are
+    detected and reported; [Locked] implements the paper's §8 future-work
+    fix (lock the neighborhood APs before deciding), restoring convergence
+    under concurrency. *)
+
+open Wlan_model
+
+type objective = Min_total_load | Min_load_vector
+type scheduler = Sequential | Simultaneous | Locked
+
+type outcome = {
+  assoc : Association.t;
+  rounds : int;  (** decision rounds executed *)
+  moves : int;  (** (re)associations applied *)
+  converged : bool;  (** a full round made no move *)
+  oscillated : bool;  (** a previously seen state recurred (Simultaneous) *)
+}
+
+(** The local rule of one user: [Some ap] to (re)associate, [None] to
+    stay. [loads] must be the current per-AP loads. Ties break toward
+    stronger signal; served users move only on strict improvement
+    (epsilon-tolerant comparison); unserved users join the best feasible
+    AP outright. *)
+val decide :
+  Problem.t ->
+  Association.t ->
+  loads:float array ->
+  objective:objective ->
+  int ->
+  int option
+
+(** Run rounds of local decisions from [init] (default: all unserved)
+    until a fixpoint, oscillation, or [max_rounds] (default 200). *)
+val run :
+  ?init:Association.t ->
+  ?max_rounds:int ->
+  scheduler:scheduler ->
+  objective:objective ->
+  Problem.t ->
+  outcome
+
+(** {1 The paper's three distributed algorithms} (default scheduler:
+    [Sequential]). MLA shares MNU's rule (§6.2). *)
+
+val mnu :
+  ?init:Association.t ->
+  ?max_rounds:int ->
+  ?scheduler:scheduler ->
+  Problem.t ->
+  Solution.t * outcome
+
+val mla :
+  ?init:Association.t ->
+  ?max_rounds:int ->
+  ?scheduler:scheduler ->
+  Problem.t ->
+  Solution.t * outcome
+
+val bla :
+  ?init:Association.t ->
+  ?max_rounds:int ->
+  ?scheduler:scheduler ->
+  Problem.t ->
+  Solution.t * outcome

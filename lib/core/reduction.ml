@@ -1,0 +1,94 @@
+(** Reductions from the association-control problems to covering problems
+    (Theorems 1, 3 and 5 of the paper).
+
+    For each AP [a], session [s] and candidate transmission rate [t], the
+    users of [s] reachable from [a] at link rate at least [t] form a subset
+    with cost [rate(s) / t] (the airtime [a] spends transmitting [s] at
+    [t]). The ground set is the users (MNU: all coverable users; BLA/MLA:
+    the users that must be served), the groups are the APs, and:
+
+    - MNU ≡ Maximum Coverage with Group Budgets (budget = AP airtime limit),
+    - BLA ≡ Set Cover with Group Budgets,
+    - MLA ≡ weighted Set Cover (groups ignored).
+
+    Only the link rates that actually occur among an AP's receivers of a
+    session are generated as candidate transmission rates: any other rate is
+    dominated (same subset, higher or equal cost). *)
+
+open Wlan_model
+
+(** What a covering set means in WLAN terms: AP [ap] transmits session
+    [session] at rate [tx_rate]. *)
+type tx = { ap : int; session : int; tx_rate : float }
+
+let pp_tx ppf { ap; session; tx_rate } =
+  Fmt.pf ppf "a%d:s%d@%g" ap session tx_rate
+
+(** [cover_instance p] builds the covering instance. When
+    [filter_over_budget] (used by MNU), subsets costing more than the AP
+    budget are dropped — they can never appear in a feasible solution, and
+    the MCG analysis assumes every set fits its group's budget. *)
+let cover_instance ?(filter_over_budget = false) p =
+  let n_aps, n_users = Problem.dims p in
+  let n_sessions = Problem.n_sessions p in
+  let sets = ref [] and costs = ref [] and groups = ref [] and pay = ref [] in
+  let n_sets = ref 0 in
+  for a = 0 to n_aps - 1 do
+    for s = 0 to n_sessions - 1 do
+      (* distinct link rates of session-s users reachable from a *)
+      let module FS = Set.Make (Float) in
+      let rates = ref FS.empty in
+      for u = 0 to n_users - 1 do
+        if Problem.user_session p u = s then begin
+          let r = Problem.link_rate p ~ap:a ~user:u in
+          if r > 0. then rates := FS.add r !rates
+        end
+      done;
+      FS.iter
+        (fun t ->
+          let cost = Problem.session_rate p s /. t in
+          if (not filter_over_budget) || cost <= Problem.ap_budget p a +. 1e-12
+          then begin
+            let set = Optkit.Bitset.create n_users in
+            for u = 0 to n_users - 1 do
+              if
+                Problem.user_session p u = s
+                && Problem.link_rate p ~ap:a ~user:u >= t
+              then Optkit.Bitset.add set u
+            done;
+            sets := set :: !sets;
+            costs := cost :: !costs;
+            groups := a :: !groups;
+            pay := { ap = a; session = s; tx_rate = t } :: !pay;
+            incr n_sets
+          end)
+        !rates
+    done
+  done;
+  let sets = Array.of_list (List.rev !sets) in
+  let costs = Array.of_list (List.rev !costs) in
+  let group_of = Array.of_list (List.rev !groups) in
+  let payload = Array.of_list (List.rev !pay) in
+  Optkit.Cover_instance.make ~n_elements:n_users ~sets ~costs ~group_of
+    ~n_groups:n_aps ~payload ()
+
+(** Users that the covering ground set should contain: everyone within range
+    of at least one AP (users out of all ranges can never be served). *)
+let coverable_users p =
+  let _, n_users = Problem.dims p in
+  let u = Optkit.Bitset.create n_users in
+  List.iter (Optkit.Bitset.add u) (Problem.coverable_users p);
+  u
+
+(** Translate covering selections (set index + newly covered users) back
+    into a user→AP association: each user goes to the AP of the transmission
+    that first covered it. *)
+let association_of_selections p inst selections =
+  let _, n_users = Problem.dims p in
+  let assoc = Association.empty ~n_users in
+  List.iter
+    (fun (set, newly) ->
+      let { ap; _ } = Optkit.Cover_instance.payload inst set in
+      Optkit.Bitset.iter (fun u -> Association.serve assoc ~user:u ~ap) newly)
+    selections;
+  assoc

@@ -1,0 +1,32 @@
+(** Reductions from the association-control problems to covering problems
+    (Theorems 1, 3 and 5): for each AP [a], session [s] and candidate
+    transmission rate [t], the users of [s] reachable from [a] at link
+    rate at least [t] form a subset with cost [rate(s) / t], grouped by
+    AP. Only rates that actually occur among an AP's receivers are
+    generated (anything else is dominated). *)
+
+open Wlan_model
+
+(** What a covering set means in WLAN terms. *)
+type tx = { ap : int; session : int; tx_rate : float }
+
+val pp_tx : Format.formatter -> tx -> unit
+
+(** Build the covering instance. With [filter_over_budget] (used by MNU),
+    subsets costing more than the AP budget are dropped — they can never
+    appear in a feasible solution, and the MCG analysis assumes every set
+    fits its group's budget. *)
+val cover_instance :
+  ?filter_over_budget:bool -> Problem.t -> tx Optkit.Cover_instance.t
+
+(** The ground set the cover should target: users within range of at
+    least one AP. *)
+val coverable_users : Problem.t -> Optkit.Bitset.t
+
+(** Translate covering selections (set index, newly covered users) back
+    into a user→AP association. *)
+val association_of_selections :
+  Problem.t ->
+  tx Optkit.Cover_instance.t ->
+  (int * Optkit.Bitset.t) list ->
+  Association.t

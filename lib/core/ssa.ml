@@ -1,0 +1,26 @@
+(** Signal-Strength-based Association (SSA) — the 802.11 default and the
+    paper's baseline: every user associates with the AP offering the
+    strongest signal among its neighbors.
+
+    Admission control follows the paper's MNU walk-through (§4.1 example):
+    users arrive in index order, and a user is turned away when admitting it
+    would push its strongest AP past the multicast load budget — it does
+    {e not} fall back to a weaker AP, because 802.11 association considers
+    signal strength only. *)
+
+open Wlan_model
+
+let name = "SSA"
+
+let run p =
+  let _, n_users = Problem.dims p in
+  let assoc = Association.empty ~n_users in
+  for u = 0 to n_users - 1 do
+    match Problem.strongest_ap p u with
+    | None -> ()
+    | Some a ->
+        let load = Loads.load_if_joins p assoc ~user:u ~ap:a in
+        if load <= Problem.ap_budget p a +. 1e-12 then
+          Association.serve assoc ~user:u ~ap:a
+  done;
+  Solution.make ~algorithm:name p assoc

@@ -1,0 +1,76 @@
+(** Text rendering of experiment figures: one table per figure, a column
+    per series, mean with (min..max) range per cell — the same rows/series
+    the paper plots. *)
+
+let hr ppf n = Fmt.pf ppf "%s@." (String.make n '-')
+
+let pp_figure ppf (fig : Series.figure) =
+  Fmt.pf ppf "@.== %s: %s@." fig.Series.id fig.Series.title;
+  let names = Series.series_names fig in
+  let xw = Int.max 12 (String.length fig.Series.x_label + 2) in
+  let width = 26 in
+  let total = xw + (width * List.length names) in
+  hr ppf total;
+  Fmt.pf ppf "%-*s" xw fig.Series.x_label;
+  List.iter (fun n -> Fmt.pf ppf "%-*s" width n) names;
+  Fmt.pf ppf "@.";
+  hr ppf total;
+  List.iter
+    (fun (p : Series.point) ->
+      Fmt.pf ppf "%-*g" xw p.Series.x;
+      List.iter
+        (fun n ->
+          match List.assoc_opt n p.Series.values with
+          | Some s ->
+              Fmt.pf ppf "%-*s" width
+                (Fmt.str "%.4g (%.4g..%.4g)" s.Stats.mean s.Stats.min
+                   s.Stats.max)
+          | None -> Fmt.pf ppf "%-*s" width "-")
+        names;
+      Fmt.pf ppf "@.")
+    fig.Series.points;
+  hr ppf total
+
+let pp_table1 ppf entries =
+  Fmt.pf ppf "@.== table1: 802.11a transmission rate vs distance threshold@.";
+  Fmt.pf ppf "%-14s" "Rate (Mbps)";
+  List.iter (fun (r, _) -> Fmt.pf ppf "%-6g" r) entries;
+  Fmt.pf ppf "@.%-14s" "Distance (m)";
+  List.iter (fun (_, d) -> Fmt.pf ppf "%-6g" d) entries;
+  Fmt.pf ppf "@."
+
+let pp_headline ppf (h : Experiments.headline) =
+  Fmt.pf ppf
+    "@.== headline: paper's abstract claims, recomputed@.\
+     satisfied users, MNU vs SSA at budget 0.04:  +%.1f%%  (paper: +36.9%%)@.\
+     max AP load, BLA vs SSA at 400 users:        -%.1f%%  (paper: -52.9%%)@.\
+     total AP load, MLA vs SSA at 400 users:      -%.1f%%  (paper: -31.1%%)@."
+    h.Experiments.mnu_user_gain_pct h.Experiments.bla_max_load_reduction_pct
+    h.Experiments.mla_total_load_reduction_pct
+
+(** CSV rendering of a figure: header [x,<s> mean,<s> min,<s> max,...],
+    one row per point, empty cells for missing series. *)
+let to_csv (fig : Series.figure) =
+  let names = Series.series_names fig in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf fig.Series.x_label;
+  List.iter
+    (fun n ->
+      Buffer.add_string buf
+        (Fmt.str ",%s mean,%s min,%s max" n n n))
+    names;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (p : Series.point) ->
+      Buffer.add_string buf (Fmt.str "%g" p.Series.x);
+      List.iter
+        (fun n ->
+          match List.assoc_opt n p.Series.values with
+          | Some s ->
+              Buffer.add_string buf
+                (Fmt.str ",%g,%g,%g" s.Stats.mean s.Stats.min s.Stats.max)
+          | None -> Buffer.add_string buf ",,,")
+        names;
+      Buffer.add_char buf '\n')
+    fig.Series.points;
+  Buffer.contents buf

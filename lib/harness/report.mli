@@ -1,0 +1,11 @@
+(** Text rendering of experiment figures: one table per figure, one column
+    per series, mean (min..max) per cell — the same rows/series the paper
+    plots. *)
+
+val pp_figure : Format.formatter -> Series.figure -> unit
+val pp_table1 : Format.formatter -> (float * float) list -> unit
+val pp_headline : Format.formatter -> Experiments.headline -> unit
+
+(** CSV rendering: header [x,<series> mean,<series> min,<series> max,...],
+    one row per point. *)
+val to_csv : Series.figure -> string

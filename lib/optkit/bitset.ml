@@ -1,0 +1,150 @@
+(** Fixed-capacity bitsets over dense integer universes.
+
+    The covering algorithms spend almost all their time computing
+    [|S ∩ X'|]; representing element sets as bit vectors makes that a
+    word-wise AND plus popcount. Words hold 62 bits so every word stays a
+    non-negative OCaml [int]. *)
+
+let bits_per_word = 62
+
+(* 16-bit popcount table: 4 lookups per word. *)
+let pop16 =
+  let t = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec cnt x acc = if x = 0 then acc else cnt (x lsr 1) (acc + (x land 1)) in
+    Bytes.unsafe_set t i (Char.chr (cnt i 0))
+  done;
+  t
+
+let popcount_word w =
+  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((w lsr 48) land 0xffff))
+
+type t = { words : int array; capacity : int }
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Bitset.create";
+  let n_words = (capacity + bits_per_word - 1) / bits_per_word in
+  { words = Array.make (Int.max n_words 1) 0; capacity }
+
+let capacity t = t.capacity
+let copy t = { t with words = Array.copy t.words }
+
+let check t i =
+  if i < 0 || i >= t.capacity then invalid_arg "Bitset: index out of bounds"
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let same_capacity a b =
+  if a.capacity <> b.capacity then invalid_arg "Bitset: capacity mismatch"
+
+(** [inter_cardinal a b] is [|a ∩ b|] without allocating. *)
+let inter_cardinal a b =
+  same_capacity a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount_word (a.words.(i) land b.words.(i))
+  done;
+  !acc
+
+let inter a b =
+  same_capacity a b;
+  { a with words = Array.mapi (fun i w -> w land b.words.(i)) a.words }
+
+let union a b =
+  same_capacity a b;
+  { a with words = Array.mapi (fun i w -> w lor b.words.(i)) a.words }
+
+let diff a b =
+  same_capacity a b;
+  { a with words = Array.mapi (fun i w -> w land lnot b.words.(i)) a.words }
+
+(** [diff_inplace a b] removes the elements of [b] from [a]. *)
+let diff_inplace a b =
+  same_capacity a b;
+  for i = 0 to Array.length a.words - 1 do
+    a.words.(i) <- a.words.(i) land lnot b.words.(i)
+  done
+
+let union_inplace a b =
+  same_capacity a b;
+  for i = 0 to Array.length a.words - 1 do
+    a.words.(i) <- a.words.(i) lor b.words.(i)
+  done
+
+let subset a b =
+  same_capacity a b;
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let equal a b = a.capacity = b.capacity && a.words = b.words
+
+let full capacity =
+  let t = create capacity in
+  for i = 0 to capacity - 1 do
+    add t i
+  done;
+  t
+
+let of_list capacity l =
+  let t = create capacity in
+  List.iter (add t) l;
+  t
+
+let iter f t =
+  for i = 0 to t.capacity - 1 do
+    if mem t i then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    if mem t i then acc := i :: !acc
+  done;
+  !acc
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+(** First element of [a ∩ b], or [None]. *)
+let first_inter a b =
+  same_capacity a b;
+  let res = ref None in
+  (try
+     for i = 0 to Array.length a.words - 1 do
+       let w = a.words.(i) land b.words.(i) in
+       if w <> 0 then begin
+         let b = ref 0 in
+         while w land (1 lsl !b) = 0 do incr b done;
+         res := Some ((i * bits_per_word) + !b);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !res
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:comma int) (to_list t)

@@ -1,0 +1,56 @@
+(** Fixed-capacity bitsets over dense integer universes [0, capacity).
+
+    The covering algorithms spend almost all their time computing
+    [|S ∩ X'|]; representing element sets as bit vectors makes that a
+    word-wise AND plus popcount. All operations besides the explicit
+    [*_inplace] variants are persistent. *)
+
+type t
+
+(** [create capacity] is the empty set over universe [0, capacity).
+    @raise Invalid_argument on negative capacity. *)
+val create : int -> t
+
+val capacity : t -> int
+val copy : t -> t
+
+(** Mutators; indices outside [0, capacity) raise [Invalid_argument]. *)
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val mem : t -> int -> bool
+val cardinal : t -> int
+val is_empty : t -> bool
+
+(** Binary operations require equal capacities ([Invalid_argument]
+    otherwise). *)
+
+(** [inter_cardinal a b] is [|a ∩ b|], without allocating. *)
+val inter_cardinal : t -> t -> int
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+
+(** [diff_inplace a b] removes the elements of [b] from [a]. *)
+val diff_inplace : t -> t -> unit
+
+(** [union_inplace a b] adds the elements of [b] to [a]. *)
+val union_inplace : t -> t -> unit
+
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+(** [full n] contains every element of [0, n). *)
+val full : int -> t
+
+val of_list : int -> int list -> t
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Smallest element of [a ∩ b], or [None] when disjoint. *)
+val first_inter : t -> t -> int option
+
+val pp : Format.formatter -> t -> unit

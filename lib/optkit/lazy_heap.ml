@@ -1,0 +1,94 @@
+(** Max-heap with lazy priority re-validation.
+
+    Greedy covering repeatedly asks for the set maximizing
+    [|S ∩ X'| / c(S)]. As elements get covered this score only ever
+    decreases, so the classic lazy-greedy trick applies: keep stale scores in
+    a max-heap, and on pop recompute the top's score — if it is unchanged the
+    top is still globally maximal; otherwise re-insert it with the fresh
+    score. Each set is re-scored O(log) amortized times instead of rescanning
+    all sets every round. *)
+
+type 'a entry = { mutable prio : float; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+}
+
+let create () = { data = [||]; size = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.data.(i).prio > t.data.(parent).prio then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < t.size && t.data.(l).prio > t.data.(i).prio then l else i in
+  let m = if r < t.size && t.data.(r).prio > t.data.(m).prio then r else m in
+  if m <> i then begin
+    swap t i m;
+    sift_down t m
+  end
+
+let push t ~prio value =
+  if t.size = Array.length t.data then begin
+    let cap = Int.max 16 (2 * Array.length t.data) in
+    let data = Array.make cap { prio; value } in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end;
+  t.data.(t.size) <- { prio; value };
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop_top t =
+  let top = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  top
+
+(** [pop_max t ~revalidate] pops the element with the (fresh) maximum
+    priority. [revalidate v] must return the current priority of [v], which
+    may only be less than or equal to the stored one; stale tops are
+    re-inserted with their fresh priority until a validated top emerges.
+    Elements whose fresh priority is [neg_infinity] are dropped. *)
+let rec pop_max t ~revalidate =
+  if t.size = 0 then None
+  else begin
+    let top = pop_top t in
+    let fresh = revalidate top.value in
+    if fresh = neg_infinity then pop_max t ~revalidate
+    else if fresh >= top.prio -. 1e-12 then Some (top.value, fresh)
+    else begin
+      push t ~prio:fresh top.value;
+      pop_max t ~revalidate
+    end
+  end
+
+(** Peek variant: returns the validated max without removing it. *)
+let peek_max t ~revalidate =
+  match pop_max t ~revalidate with
+  | None -> None
+  | Some (v, prio) ->
+      push t ~prio v;
+      Some (v, prio)
+
+let of_list l =
+  let t = create () in
+  List.iter (fun (prio, v) -> push t ~prio v) l;
+  t

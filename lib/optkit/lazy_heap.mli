@@ -1,0 +1,28 @@
+(** Max-heap with lazy priority re-validation.
+
+    The classic lazy-greedy structure for submodular maximization /
+    covering: priorities may silently {e decrease} between operations; on
+    {!pop_max} the stored top priority is recomputed, and if stale the
+    element is re-inserted, so each element is re-scored an amortized
+    O(log) number of times instead of rescanning every candidate per
+    round. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push t ~prio v] inserts [v] with current priority [prio]. *)
+val push : 'a t -> prio:float -> 'a -> unit
+
+(** [pop_max t ~revalidate] pops the element whose {e fresh} priority
+    ([revalidate v]) is maximal. Fresh priorities must never exceed stored
+    ones. Elements revalidating to [neg_infinity] are dropped. [None] when
+    the heap empties. *)
+val pop_max : 'a t -> revalidate:('a -> float) -> ('a * float) option
+
+(** Like {!pop_max} but leaves the winner in the heap. *)
+val peek_max : 'a t -> revalidate:('a -> float) -> ('a * float) option
+
+val of_list : (float * 'a) list -> 'a t

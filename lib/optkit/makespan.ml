@@ -1,0 +1,88 @@
+(** Minimum Makespan Scheduling on identical machines — the source problem
+    of the paper's BLA NP-hardness proof (Appendix B). We provide the LPT
+    (Longest Processing Time first) 4/3-approximation and an exact
+    branch-and-bound, used by the tests to validate the BLA reduction: the
+    single-rate WLAN built from a scheduling instance has optimal maximum
+    AP load equal to the optimal makespan. *)
+
+type schedule = {
+  assignment : int array;  (** job index -> machine index *)
+  makespan : float;
+}
+
+let makespan_of ~machines ~jobs assignment =
+  let loads = Array.make machines 0. in
+  Array.iteri (fun j m -> loads.(m) <- loads.(m) +. jobs.(j)) assignment;
+  Array.fold_left Float.max 0. loads
+
+(** LPT: sort jobs by decreasing processing time; place each on the
+    currently least-loaded machine. *)
+let lpt ~machines ~jobs =
+  if machines <= 0 then invalid_arg "Makespan.lpt: machines <= 0";
+  let jobs = Array.of_list jobs in
+  let order = Array.init (Array.length jobs) Fun.id in
+  Array.sort (fun a b -> Float.compare jobs.(b) jobs.(a)) order;
+  let loads = Array.make machines 0. in
+  let assignment = Array.make (Array.length jobs) 0 in
+  Array.iter
+    (fun j ->
+      let m = ref 0 in
+      for i = 1 to machines - 1 do
+        if loads.(i) < loads.(!m) then m := i
+      done;
+      assignment.(j) <- !m;
+      loads.(!m) <- loads.(!m) +. jobs.(j))
+    order;
+  { assignment; makespan = makespan_of ~machines ~jobs assignment }
+
+(** Exact minimum makespan by depth-first branch and bound with machine
+    symmetry breaking. Exponential; intended for the small instances the
+    tests and Fig. 12 use. *)
+let exact ~machines ~jobs =
+  if machines <= 0 then invalid_arg "Makespan.exact: machines <= 0";
+  let jobs_a = Array.of_list jobs in
+  let n = Array.length jobs_a in
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> Float.compare jobs_a.(b) jobs_a.(a)) order;
+  let incumbent = lpt ~machines ~jobs in
+  let best = ref incumbent.makespan in
+  let best_assign = ref (Array.copy incumbent.assignment) in
+  let loads = Array.make machines 0. in
+  let assign = Array.make n 0 in
+  let total = Array.fold_left ( +. ) 0. jobs_a in
+  let rec go k placed =
+    if k = n then begin
+      let ms = Array.fold_left Float.max 0. loads in
+      if ms < !best -. 1e-12 then begin
+        best := ms;
+        best_assign := Array.copy assign
+      end
+    end
+    else begin
+      let j = order.(k) in
+      (* lower bound: remaining work must fit somewhere *)
+      let remaining = total -. placed in
+      let cur_max = Array.fold_left Float.max 0. loads in
+      let avg_bound =
+        Float.max cur_max
+          ((placed +. remaining) /. float_of_int machines)
+      in
+      if avg_bound < !best -. 1e-12 then begin
+        (* try machines; skip identical (same-load) machines after the first *)
+        let seen = ref [] in
+        for m = 0 to machines - 1 do
+          let dup = List.exists (fun l -> Float.equal l loads.(m)) !seen in
+          if (not dup) && loads.(m) +. jobs_a.(j) < !best -. 1e-12 then begin
+            seen := loads.(m) :: !seen;
+            loads.(m) <- loads.(m) +. jobs_a.(j);
+            assign.(j) <- m;
+            go (k + 1) (placed +. jobs_a.(j));
+            loads.(m) <- loads.(m) -. jobs_a.(j)
+          end
+          else if not dup then seen := loads.(m) :: !seen
+        done
+      end
+    end
+  in
+  go 0 0.;
+  { assignment = !best_assign; makespan = !best }

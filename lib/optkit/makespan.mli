@@ -1,0 +1,17 @@
+(** Minimum Makespan Scheduling on identical machines — source problem of
+    the paper's BLA NP-hardness proof (Appendix B). *)
+
+type schedule = {
+  assignment : int array;  (** job index -> machine index *)
+  makespan : float;
+}
+
+val makespan_of : machines:int -> jobs:float array -> int array -> float
+
+(** Longest-Processing-Time-first: the classic 4/3-approximation.
+    @raise Invalid_argument when [machines <= 0]. *)
+val lpt : machines:int -> jobs:float list -> schedule
+
+(** Exact minimum makespan by branch and bound with machine symmetry
+    breaking. Exponential; for small instances. *)
+val exact : machines:int -> jobs:float list -> schedule

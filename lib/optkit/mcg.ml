@@ -1,0 +1,279 @@
+(** Maximum Coverage with Group Budgets (MCG), cost version — the engine of
+    the paper's Centralized MNU (Fig. 3), after Chekuri–Kumar (APPROX'04).
+
+    Sets are partitioned into groups (one group per AP); each group [G_i]
+    has a budget [B_i] (the AP's multicast airtime budget). The greedy loop
+    picks, among groups whose spent budget is still strictly below their
+    limit, the most cost-effective set ([|S ∩ X'| / c(S)]). A selection may
+    overshoot its group's budget; the classic repair partitions the
+    selections into [H1] (those that kept their group within budget) and
+    [H2] (the at-most-one-per-group overshooting selections) and keeps the
+    half covering more elements, yielding the 8-approximation of Theorem 2
+    (the greedy H is a 4-approximation, and max(H1, H2) ≥ H/2). *)
+
+type selection = { set : int; newly : Bitset.t }
+
+type result = {
+  kept : selection list;  (** the returned solution (H1 or H2), in order *)
+  raw_order : int list;  (** H before the split, in selection order *)
+  covered : Bitset.t;  (** covered by [kept] *)
+  group_cost : float array;  (** per-group cost of [kept]; each <= budget *)
+}
+
+let replay inst ~universe sets =
+  let x' = Bitset.copy universe in
+  let kept =
+    List.map
+      (fun j ->
+        let newly = Bitset.inter (Cover_instance.set inst j) x' in
+        Bitset.diff_inplace x' newly;
+        { set = j; newly })
+      sets
+  in
+  let covered = Bitset.diff universe x' in
+  (kept, covered)
+
+(** [greedy inst ~budgets ?universe ()] runs budgeted greedy + split.
+    [budgets.(i)] is group [i]'s budget. Only elements of [universe]
+    (default: everything coverable) count as coverage. Sets costing more
+    than their group's budget are never picked (the paper assumes
+    [c(S) <= B_i]; callers should pre-filter, but we also guard here).
+
+    [element_weights] generalizes coverage from counting to weighted sums
+    (revenue-weighted users): the greedy score becomes
+    [weight(S ∩ X') / c(S)] and the H1/H2 split keeps the heavier half.
+    Weights must be non-negative; omitted weights mean 1 per element.
+
+    [mode] selects the overshoot discipline:
+    - [`Soft] (default, the paper's Fig. 3): a group stays eligible while
+      its spent budget is strictly below the limit, so the last selection
+      may overshoot; the H1/H2 split repairs feasibility. This carries the
+      8-approximation guarantee.
+    - [`Hard]: a set is only selectable if it fits the group's remaining
+      budget exactly; nothing overshoots and no split is needed. No
+      coverage guarantee, but never wastes budget — the practical variant
+      the BLA driver can also try. *)
+let greedy ?(mode = `Soft) ?element_weights inst ~budgets ?universe () =
+  if Array.length budgets <> Cover_instance.n_groups inst then
+    invalid_arg "Mcg.greedy: budgets length <> number of groups";
+  (match element_weights with
+  | Some w ->
+      if Array.length w <> Cover_instance.n_elements inst then
+        invalid_arg "Mcg.greedy: element_weights arity";
+      Array.iter
+        (fun x -> if x < 0. then invalid_arg "Mcg.greedy: negative weight")
+        w
+  | None -> ());
+  let x0 =
+    match universe with
+    | Some u -> Bitset.inter u (Cover_instance.coverable inst)
+    | None -> Cover_instance.coverable inst
+  in
+  let x' = Bitset.copy x0 in
+  (* weighted gain of covering [S ∩ X'] *)
+  let gain_of j =
+    let s = Cover_instance.set inst j in
+    match element_weights with
+    | None -> float_of_int (Bitset.inter_cardinal s x')
+    | Some w ->
+        let acc = ref 0. in
+        Bitset.iter (fun e -> if Bitset.mem x' e then acc := !acc +. w.(e)) s;
+        !acc
+  in
+  let weight_of set =
+    match element_weights with
+    | None -> float_of_int (Bitset.cardinal set)
+    | Some w -> Bitset.fold (fun e acc -> acc +. w.(e)) set 0.
+  in
+  let n_groups = Cover_instance.n_groups inst in
+  let heaps = Array.init n_groups (fun _ -> Lazy_heap.create ()) in
+  for j = 0 to Cover_instance.n_sets inst - 1 do
+    let g = Cover_instance.group inst j in
+    let c = Cover_instance.cost inst j in
+    if c <= budgets.(g) +. 1e-12 then begin
+      let gain = gain_of j in
+      if gain > 0. then Lazy_heap.push heaps.(g) ~prio:(gain /. c) j
+    end
+  done;
+  let revalidate j =
+    let gain = gain_of j in
+    if gain <= 0. then neg_infinity
+    else gain /. Cover_instance.cost inst j
+  in
+  let spent = Array.make n_groups 0. in
+  let raw = ref [] in
+  (* per selection: did it overshoot its group's budget? *)
+  let overshoot = ref [] in
+  (* pop a group's best candidate; in [`Hard] mode, sets that no longer fit
+     the group's remaining budget are dropped for good (remaining budget
+     only shrinks) *)
+  let rec candidate g =
+    match Lazy_heap.pop_max heaps.(g) ~revalidate with
+    | None -> None
+    | Some (j, prio) ->
+        let fits =
+          match mode with
+          | `Soft -> true
+          | `Hard ->
+              Cover_instance.cost inst j <= budgets.(g) -. spent.(g) +. 1e-12
+        in
+        if fits then Some (j, prio) else candidate g
+  in
+  let continue = ref true in
+  while !continue && not (Bitset.is_empty x') do
+    (* the paper's inner for-loop: best candidate of each eligible group *)
+    let popped = ref [] in
+    for g = 0 to n_groups - 1 do
+      if spent.(g) < budgets.(g) -. 1e-12 then
+        match candidate g with
+        | None -> ()
+        | Some (j, prio) -> popped := (g, j, prio) :: !popped
+    done;
+    (* near-equal cost-effectiveness breaks toward the least-loaded group,
+       which spreads the cover across APs at no loss of greedy quality *)
+    let best =
+      List.fold_left
+        (fun acc (g, j, prio) ->
+          match acc with
+          | Some (j', p) ->
+              let g' = Cover_instance.group inst j' in
+              if
+                prio > p +. 1e-12
+                || (prio >= p -. 1e-12 && spent.(g) < spent.(g') -. 1e-12)
+              then Some (j, prio)
+              else acc
+          | None -> Some (j, prio))
+        None !popped
+    in
+    match best with
+    | None -> continue := false
+    | Some (j, _) ->
+        (* re-enqueue the losing groups' candidates *)
+        List.iter
+          (fun (g, j', prio) ->
+            if j' <> j then Lazy_heap.push heaps.(g) ~prio j')
+          !popped;
+        let g = Cover_instance.group inst j in
+        let c = Cover_instance.cost inst j in
+        spent.(g) <- spent.(g) +. c;
+        raw := j :: !raw;
+        overshoot := (j, spent.(g) > budgets.(g) +. 1e-12) :: !overshoot;
+        Bitset.diff_inplace x' (Cover_instance.set inst j)
+  done;
+  let raw_order = List.rev !raw in
+  let tagged = List.rev !overshoot in
+  let h1 = List.filter_map (fun (j, over) -> if over then None else Some j) tagged in
+  let h2 = List.filter_map (fun (j, over) -> if over then Some j else None) tagged in
+  let kept1, cov1 = replay inst ~universe:x0 h1 in
+  let kept2, cov2 = replay inst ~universe:x0 h2 in
+  let kept, covered =
+    if weight_of cov1 >= weight_of cov2 then (kept1, cov1) else (kept2, cov2)
+  in
+  let group_cost = Array.make n_groups 0. in
+  List.iter
+    (fun { set = j; _ } ->
+      let g = Cover_instance.group inst j in
+      group_cost.(g) <- group_cost.(g) +. Cover_instance.cost inst j)
+    kept;
+  { kept; raw_order; covered; group_cost }
+
+(** Number of elements the solution covers. *)
+let coverage r = Bitset.cardinal r.covered
+
+(** Check the budget constraint of a result. *)
+let within_budgets r ~budgets =
+  Array.for_all2 (fun c b -> c <= b +. 1e-9) r.group_cost budgets
+
+(** {1 Exact solver} *)
+
+type exact_result = {
+  sets : int list;
+  exact_covered : Bitset.t;
+  coverage_weight : float;
+  proved_optimal : bool;
+}
+
+(** Exact MCG by branch and bound over include/exclude decisions, with a
+    reachability bound (current coverage + everything the remaining sets
+    could still cover). Exponential in the number of sets — for the tiny
+    instances the tests use to cross-validate the greedy and the ILP
+    solvers. *)
+let exact ?(node_limit = 1_000_000) ?element_weights inst ~budgets ?universe
+    () =
+  if Array.length budgets <> Cover_instance.n_groups inst then
+    invalid_arg "Mcg.exact: budgets length <> number of groups";
+  let x0 =
+    match universe with
+    | Some u -> Bitset.inter u (Cover_instance.coverable inst)
+    | None -> Cover_instance.coverable inst
+  in
+  let n = Cover_instance.n_elements inst in
+  let weight_of set =
+    match element_weights with
+    | None -> float_of_int (Bitset.cardinal set)
+    | Some w -> Bitset.fold (fun e acc -> acc +. w.(e)) set 0.
+  in
+  let m = Cover_instance.n_sets inst in
+  (* order sets by decreasing standalone effectiveness for early incumbents *)
+  let order = Array.init m Fun.id in
+  Array.sort
+    (fun a b ->
+      Float.compare
+        (weight_of (Bitset.inter (Cover_instance.set inst b) x0)
+        /. Cover_instance.cost inst b)
+        (weight_of (Bitset.inter (Cover_instance.set inst a) x0)
+        /. Cover_instance.cost inst a))
+    order;
+  (* suffix unions for the reachability bound *)
+  let suffix = Array.make (m + 1) (Bitset.create n) in
+  for i = m - 1 downto 0 do
+    suffix.(i) <-
+      Bitset.union suffix.(i + 1)
+        (Bitset.inter (Cover_instance.set inst order.(i)) x0)
+  done;
+  let best_w = ref 0. and best_sets = ref [] in
+  let nodes = ref 0 and truncated = ref false in
+  let spent = Array.make (Cover_instance.n_groups inst) 0. in
+  let rec go i picked covered covered_w =
+    incr nodes;
+    if !nodes > node_limit then truncated := true
+    else if covered_w > !best_w +. 1e-12 then begin
+      best_w := covered_w;
+      best_sets := picked;
+      go_children i picked covered covered_w
+    end
+    else go_children i picked covered covered_w
+  and go_children i picked covered covered_w =
+    if i < m && not !truncated then begin
+      let reachable =
+        covered_w +. weight_of (Bitset.diff suffix.(i) covered)
+      in
+      if reachable > !best_w +. 1e-12 then begin
+        let j = order.(i) in
+        let g = Cover_instance.group inst j in
+        let c = Cover_instance.cost inst j in
+        (* include j if it fits its group's budget *)
+        if spent.(g) +. c <= budgets.(g) +. 1e-12 then begin
+          spent.(g) <- spent.(g) +. c;
+          let newly = Bitset.diff (Bitset.inter (Cover_instance.set inst j) x0) covered in
+          let covered' = Bitset.union covered newly in
+          go (i + 1) (j :: picked) covered' (covered_w +. weight_of newly);
+          spent.(g) <- spent.(g) -. c
+        end;
+        (* exclude j *)
+        go (i + 1) picked covered covered_w
+      end
+    end
+  in
+  go 0 [] (Bitset.create n) 0.;
+  let covered = Bitset.create n in
+  List.iter
+    (fun j ->
+      Bitset.union_inplace covered (Bitset.inter (Cover_instance.set inst j) x0))
+    !best_sets;
+  {
+    sets = List.rev !best_sets;
+    exact_covered = covered;
+    coverage_weight = !best_w;
+    proved_optimal = not !truncated;
+  }

@@ -1,0 +1,62 @@
+(** Maximum Coverage with Group Budgets (MCG), cost version — the engine
+    of the paper's Centralized MNU (Fig. 3), after Chekuri–Kumar
+    (APPROX'04).
+
+    Sets are partitioned into groups (one per AP), each with a budget.
+    The greedy loop picks the most cost-effective set among groups whose
+    spent budget is below their limit. In [`Soft] mode (the paper's) a
+    selection may overshoot its group's budget and the H1/H2 split repairs
+    feasibility, giving the 8-approximation of Theorem 2; in [`Hard] mode
+    sets that do not fit the remaining budget are simply not selectable
+    (no guarantee, empirically tighter). *)
+
+type selection = { set : int; newly : Bitset.t }
+
+type result = {
+  kept : selection list;  (** the returned solution, in selection order *)
+  raw_order : int list;  (** greedy's H before the split *)
+  covered : Bitset.t;  (** covered by [kept] *)
+  group_cost : float array;  (** per-group cost of [kept]; <= budgets *)
+}
+
+(** [greedy inst ~budgets ?universe ()] — [budgets.(g)] is group [g]'s
+    budget ([Invalid_argument] if the length differs from the group
+    count). Only elements of [universe] (default: everything coverable)
+    count as coverage; [element_weights] (non-negative, default all-1)
+    makes coverage a weighted sum — the revenue-weighted MNU
+    generalization. Sets costing more than their group's budget are never
+    picked. *)
+val greedy :
+  ?mode:[ `Soft | `Hard ] ->
+  ?element_weights:float array ->
+  'a Cover_instance.t ->
+  budgets:float array ->
+  ?universe:Bitset.t ->
+  unit ->
+  result
+
+(** Number of elements the solution covers. *)
+val coverage : result -> int
+
+(** Check the budget constraint of a result. *)
+val within_budgets : result -> budgets:float array -> bool
+
+(** {1 Exact solver} *)
+
+type exact_result = {
+  sets : int list;
+  exact_covered : Bitset.t;
+  coverage_weight : float;  (** weighted coverage of [sets] *)
+  proved_optimal : bool;  (** false when [node_limit] was exhausted *)
+}
+
+(** Exact MCG by branch and bound (include/exclude per set, reachability
+    bound). Exponential in the set count; tiny instances only. *)
+val exact :
+  ?node_limit:int ->
+  ?element_weights:float array ->
+  'a Cover_instance.t ->
+  budgets:float array ->
+  ?universe:Bitset.t ->
+  unit ->
+  exact_result

@@ -1,0 +1,56 @@
+(** Set Cover with Group Budgets (SCG) — the engine of the paper's
+    Centralized BLA (Fig. 6): guess a bound [B*], give every group that
+    budget and iterate the MCG greedy [log_{8/7} n + 1] times until every
+    element is covered (Theorem 4's [(log_{8/7} n + 1)]-approximation of
+    the minimum maximum group cost). *)
+
+type result = {
+  bstar : float;
+  rounds : Mcg.result list;  (** one MCG result per iteration *)
+  feasible : bool;  (** all universe elements covered *)
+  group_cost : float array;  (** summed over rounds *)
+}
+
+(** The paper's iteration bound: [ceil (log_{8/7} n)] + 1. *)
+val max_rounds_for : int -> int
+
+(** All selections, flattened in selection order; the [newly] attributions
+    of different rounds are disjoint by construction. *)
+val selections : result -> Mcg.selection list
+
+val max_group_cost : result -> float
+
+(** One run at a fixed [B*]. An explicitly-passed [universe] is taken
+    literally (uncoverable members make the run infeasible); the default
+    universe is everything coverable. *)
+val solve_for :
+  ?mode:[ `Soft | `Hard ] ->
+  'a Cover_instance.t ->
+  bstar:float ->
+  ?universe:Bitset.t ->
+  unit ->
+  result
+
+(** Geometric grid of [B*] guesses between the smallest feasible bound
+    ([max_e min_{S∋e} c(S)] over the universe) and 1. *)
+val default_grid :
+  ?n_guesses:int -> ?universe:Bitset.t -> 'a Cover_instance.t -> float list
+
+(** Feasible runs for every [B*] in [grid], smallest realized max group
+    cost first. *)
+val solve_grid :
+  ?mode:[ `Soft | `Hard ] ->
+  'a Cover_instance.t ->
+  ?universe:Bitset.t ->
+  grid:float list ->
+  unit ->
+  result list
+
+(** Best feasible run over the default grid, if any. *)
+val solve :
+  ?mode:[ `Soft | `Hard ] ->
+  ?n_guesses:int ->
+  'a Cover_instance.t ->
+  ?universe:Bitset.t ->
+  unit ->
+  result option

@@ -1,0 +1,58 @@
+(** Subset Sum — the source problem of the paper's MNU NP-hardness proof
+    (Appendix A). Solved exactly by the classic pseudo-polynomial dynamic
+    program; the tests use it to validate the MNU reduction: the single-AP
+    WLAN built from a Subset Sum instance can serve exactly
+    [best_at_most numbers target] users. *)
+
+(** [solve numbers target] decides whether a subset of [numbers] sums to
+    exactly [target], returning the indices of one witness subset. *)
+let solve numbers target =
+  if target < 0 then None
+  else begin
+    let nums = Array.of_list numbers in
+    let n = Array.length nums in
+    (* from.(s) = Some i: sum s reachable, last number used has index i *)
+    let from = Array.make (target + 1) None in
+    let reached = Array.make (target + 1) false in
+    reached.(0) <- true;
+    for i = 0 to n - 1 do
+      if nums.(i) >= 0 then
+        for s = target downto nums.(i) do
+          if reached.(s - nums.(i)) && not reached.(s) then begin
+            reached.(s) <- true;
+            from.(s) <- Some (i, s - nums.(i))
+          end
+        done
+    done;
+    if not reached.(target) then None
+    else begin
+      let rec back s acc =
+        match from.(s) with
+        | None -> acc
+        | Some (i, prev) -> back prev (i :: acc)
+      in
+      Some (back target [])
+    end
+  end
+
+(** [best_at_most numbers target] is the largest achievable subset sum that
+    does not exceed [target] — exactly the maximum number of users the
+    Appendix-A WLAN can serve under multicast budget [target]. *)
+let best_at_most numbers target =
+  if target < 0 then 0
+  else begin
+    let reached = Array.make (target + 1) false in
+    reached.(0) <- true;
+    List.iter
+      (fun g ->
+        if g >= 0 then
+          for s = target downto g do
+            if reached.(s - g) then reached.(s) <- true
+          done)
+      numbers;
+    let best = ref 0 in
+    for s = 0 to target do
+      if reached.(s) then best := s
+    done;
+    !best
+  end

@@ -1,0 +1,13 @@
+(** Subset Sum — source problem of the paper's MNU NP-hardness proof
+    (Appendix A), solved exactly by the pseudo-polynomial DP. The tests
+    use it to validate the reduction: the single-AP WLAN built from a
+    Subset Sum instance serves exactly {!best_at_most}[ numbers target]
+    users under the optimal association. *)
+
+(** [solve numbers target] returns the indices (into [numbers]) of a
+    subset summing exactly to [target], or [None]. *)
+val solve : int list -> int -> int list option
+
+(** Largest achievable subset sum not exceeding [target] (0 when
+    [target < 0]). *)
+val best_at_most : int list -> int -> int

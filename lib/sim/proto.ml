@@ -1,0 +1,166 @@
+(** The distributed association protocol at message level (§4.2/§5.2).
+
+    Users periodically query their neighbor APs; each AP responds with the
+    multicast sessions it currently transmits, the transmission rates, its
+    resulting load, and — for its own associated user — the load it would
+    have if that user left. From those responses alone (no global state) a
+    user computes every neighbor's hypothetical load if it joined, applies
+    the objective (minimum total neighborhood load for MNU/MLA, minimum
+    sorted load vector for BLA), and re-associates when strictly better.
+
+    APs are tiny state machines keyed by their associated users; user
+    decisions are pure functions of the response set, so the protocol's
+    outcome can be asserted equal to the abstract [Mcast_core.Distributed]
+    fixpoint in the integration tests. *)
+
+open Wlan_model
+
+(** {1 AP agents} *)
+
+type ap_state = {
+  ap_id : int;
+  mutable members : (int * int * float) list;
+      (** (user, session, link rate) of associated users *)
+}
+
+let ap_create ap_id = { ap_id; members = [] }
+
+let ap_join st ~user ~session ~link_rate =
+  if not (List.exists (fun (u, _, _) -> u = user) st.members) then
+    st.members <- (user, session, link_rate) :: st.members
+
+let ap_leave st ~user =
+  st.members <- List.filter (fun (u, _, _) -> u <> user) st.members
+
+(** Transmission rate per session: the minimum link rate among members of
+    that session ([] if unserved). *)
+let ap_tx_table st =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (_, s, r) ->
+      match Hashtbl.find_opt tbl s with
+      | Some r' when r' <= r -> ()
+      | _ -> Hashtbl.replace tbl s r)
+    st.members;
+  tbl
+
+let load_of_table ~session_rates tbl =
+  Hashtbl.fold (fun s tx acc -> acc +. (session_rates.(s) /. tx)) tbl 0.
+
+let ap_load st ~session_rates = load_of_table ~session_rates (ap_tx_table st)
+
+let ap_load_without st ~session_rates ~user =
+  let st' = { st with members = List.filter (fun (u, _, _) -> u <> user) st.members } in
+  ap_load st' ~session_rates
+
+(** {1 Query responses} *)
+
+type response = {
+  from_ap : int;
+  sessions : (int * float) list;  (** (session, tx rate) currently served *)
+  load : float;
+  budget : float;  (** the AP's advertised multicast airtime limit *)
+  load_without_you : float option;  (** only for the queried user's own AP *)
+}
+
+let ap_answer st ~session_rates ~budget ~user =
+  let tbl = ap_tx_table st in
+  let sessions = Hashtbl.fold (fun s tx acc -> (s, tx) :: acc) tbl [] in
+  let is_member = List.exists (fun (u, _, _) -> u = user) st.members in
+  {
+    from_ap = st.ap_id;
+    sessions;
+    load = load_of_table ~session_rates tbl;
+    budget;
+    load_without_you =
+      (if is_member then Some (ap_load_without st ~session_rates ~user)
+       else None);
+  }
+
+(** {1 User decisions} *)
+
+(** What a user knows about one neighbor AP: measured during scanning. *)
+type neighbor_info = { ap : int; link_rate : float; signal : float }
+
+(** [decide] — the §4.2/§5.2 local rule, computed from responses only.
+    Returns [Some ap] to (re)associate with [ap], [None] to stay.
+
+    Robust to partial information: neighbors whose query response was lost
+    are simply not candidates this round and do not enter the neighborhood
+    objective — the user re-queries them next period. *)
+let decide ~objective ~session_rates ~session ~current
+    ~(neighbors : neighbor_info list) ~(responses : response list) =
+  (* only neighbors we actually heard back from *)
+  let neighbors =
+    List.filter
+      (fun (n : neighbor_info) ->
+        List.exists (fun r -> r.from_ap = n.ap) responses)
+      neighbors
+  in
+  let find_resp a = List.find (fun r -> r.from_ap = a) responses in
+  let rate_s = session_rates.(session) in
+  (* hypothetical load of AP [a] with me joined *)
+  let load_if_join (n : neighbor_info) =
+    let r = find_resp n.ap in
+    if current = Some n.ap then r.load
+    else
+      match List.assoc_opt session r.sessions with
+      | Some tx when tx <= n.link_rate -> r.load (* I decode the existing tx *)
+      | Some tx -> r.load -. (rate_s /. tx) +. (rate_s /. n.link_rate)
+      | None -> r.load +. (rate_s /. n.link_rate)
+  in
+  let load_if_leave a =
+    let r = find_resp a in
+    match r.load_without_you with Some l -> l | None -> r.load
+  in
+  (* objective value over my neighborhood if I associate with [target] *)
+  let value target =
+    let loads =
+      List.map
+        (fun (n : neighbor_info) ->
+          if n.ap = target then load_if_join n
+          else
+            match current with
+            | Some a0 when n.ap = a0 -> load_if_leave a0
+            | _ -> (find_resp n.ap).load)
+        neighbors
+    in
+    match objective with
+    | Mcast_core.Distributed.Min_total_load ->
+        [| List.fold_left ( +. ) 0. loads |]
+    | Mcast_core.Distributed.Min_load_vector ->
+        Loads.sorted_load_vector (Array.of_list loads)
+  in
+  let heard a = List.exists (fun r -> r.from_ap = a) responses in
+  let feasible (n : neighbor_info) =
+    current = Some n.ap
+    || load_if_join n <= (find_resp n.ap).budget +. 1e-12
+  in
+  let candidates = List.filter feasible neighbors in
+  match candidates with
+  | [] -> None
+  (* if our own AP's answer was lost we cannot evaluate leaving it:
+     stay put and retry next period *)
+  | _ when (match current with Some a0 -> not (heard a0) | None -> false) ->
+      None
+  | first :: rest -> (
+      let best =
+        List.fold_left
+          (fun (bn, bv) (n : neighbor_info) ->
+            let v = value n.ap in
+            if Loads.compare_load_vectors_eps v bv < 0 then (n, v)
+            else if
+              Loads.compare_load_vectors_eps v bv = 0
+              && n.signal > bn.signal +. 1e-12
+            then (n, v)
+            else (bn, bv))
+          (first, value first.ap) rest
+      in
+      let best_n, best_v = best in
+      match current with
+      | None -> Some best_n.ap
+      | Some a0 when best_n.ap <> a0 ->
+          if Loads.compare_load_vectors_eps best_v (value a0) < 0 then
+            Some best_n.ap
+          else None
+      | Some _ -> None)

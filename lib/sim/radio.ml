@@ -1,0 +1,48 @@
+(** Radio propagation for the simulator: positions + the rate-adaptation
+    table give link rates, ranges and received-signal ordering. Thin,
+    deterministic, and shared by scanning, the MAC and the protocol. *)
+
+open Wlan_model
+
+type t = {
+  rate_table : Rate_table.t;
+  ap_pos : Point.t array;
+  user_pos : Point.t array;
+}
+
+let of_scenario (sc : Scenario.t) =
+  {
+    rate_table = sc.Scenario.rate_table;
+    ap_pos = sc.Scenario.ap_pos;
+    user_pos = sc.Scenario.user_pos;
+  }
+
+let n_aps t = Array.length t.ap_pos
+let n_users t = Array.length t.user_pos
+
+let distance t ~ap ~user = Point.dist t.ap_pos.(ap) t.user_pos.(user)
+
+(** Link rate after rate adaptation; [None] out of range. *)
+let link_rate t ~ap ~user =
+  Rate_table.rate_at_distance t.rate_table (distance t ~ap ~user)
+
+let in_range t ~ap ~user =
+  distance t ~ap ~user <= Rate_table.range t.rate_table
+
+(** Signal metric (higher = stronger): negative distance, matching how
+    geometric scenarios compile to problems. *)
+let signal t ~ap ~user = -.distance t ~ap ~user
+
+(** APs within radio range of [user]. *)
+let neighbor_aps t ~user =
+  let acc = ref [] in
+  for a = n_aps t - 1 downto 0 do
+    if in_range t ~ap:a ~user then acc := a :: !acc
+  done;
+  !acc
+
+(** Propagation delay in seconds (speed of light), for message latencies. *)
+let propagation_delay t ~ap ~user = distance t ~ap ~user /. 3.0e8
+
+(** Airtime of one frame of [bits] at [rate_mbps]. *)
+let frame_airtime ~bits ~rate_mbps = bits /. (rate_mbps *. 1e6)

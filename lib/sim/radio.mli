@@ -1,0 +1,32 @@
+(** Radio propagation for the simulator: positions plus the
+    rate-adaptation table give link rates, ranges and signal ordering. *)
+
+open Wlan_model
+
+type t = {
+  rate_table : Rate_table.t;
+  ap_pos : Point.t array;
+  user_pos : Point.t array;
+}
+
+val of_scenario : Scenario.t -> t
+val n_aps : t -> int
+val n_users : t -> int
+val distance : t -> ap:int -> user:int -> float
+
+(** Link rate after rate adaptation; [None] out of range. *)
+val link_rate : t -> ap:int -> user:int -> float option
+
+val in_range : t -> ap:int -> user:int -> bool
+
+(** Signal metric (higher = stronger): negative distance. *)
+val signal : t -> ap:int -> user:int -> float
+
+(** APs within radio range of a user. *)
+val neighbor_aps : t -> user:int -> int list
+
+(** Speed-of-light propagation delay in seconds. *)
+val propagation_delay : t -> ap:int -> user:int -> float
+
+(** Airtime of one frame of [bits] at [rate_mbps]. *)
+val frame_airtime : bits:float -> rate_mbps:float -> float

@@ -1,0 +1,352 @@
+(** End-to-end simulation runs: scan → associate (under a policy) → stream
+    → measure. This is the harness that replaces the paper's ns-2 setup.
+
+    Phases:
+    + {b Scanning} — active probe scan (see {!Scanning}); users learn their
+      neighbor APs, link rates and signal strengths.
+    + {b Association} — per the policy: SSA joins the strongest AP with
+      admission control; the distributed policies run the query/response
+      protocol of {!Proto} in passes (sequential, one user at a time, or
+      simultaneous, everyone deciding on the same snapshot); [Static]
+      installs a precomputed association (how the centralized algorithms
+      are deployed: computed offline, pushed to users).
+    + {b Streaming} — every served (AP, session) pair transmits periodic
+      multicast frames ({!Mac}); per-AP airtime over the window gives the
+      measured load, which the tests cross-check against Definition 1. *)
+
+open Wlan_model
+
+let src = Logs.Src.create "wlansim.runner" ~doc:"End-to-end simulation runs"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type mode = Sequential | Simultaneous
+
+type policy =
+  | Ssa_policy
+  | Distributed_policy of {
+      objective : Mcast_core.Distributed.objective;
+      mode : mode;
+      max_passes : int;
+    }
+  | Static_policy of Association.t
+
+(** Snapshot taken at the end of each association pass — the convergence
+    curve of the protocol. *)
+type pass_stats = {
+  pass : int;
+  served : int;
+  total_load : float;
+  moves_in_pass : int;
+}
+
+type report = {
+  problem : Problem.t;
+  assoc : Association.t;
+  solution : Mcast_core.Solution.t;
+  analytic_loads : float array;  (** Definition 1 on the final association *)
+  measured_loads : float array;  (** airtime counted by the MAC *)
+  passes : int;
+  pass_history : pass_stats list;  (** chronological, one per pass *)
+  converged : bool;
+  oscillated : bool;
+  events : int;  (** simulation events processed *)
+  sim_time : float;
+  trace : Trace.t;
+}
+
+(* message timing *)
+let query_proc = 1e-3
+let user_slot = 10e-3 (* sequential decision slot per user *)
+
+(** [run ~policy sc] simulates the whole pipeline on scenario [sc].
+
+    [init], when given, is installed as the starting association right
+    after scanning (users already associated from a previous epoch); users
+    whose old AP is no longer within range are left unserved and rejoin
+    through the protocol.
+
+    [loss_rate] drops each protocol query/response exchange independently
+    with that probability (deterministically from [seed]); the distributed
+    decision rule degrades gracefully to the neighbors it heard from.
+
+    [unicast_demands], when given (one Mbps figure per user), adds dual
+    association's unicast side to the streaming phase: each user pulls its
+    demand from its strongest-signal AP, so [measured_loads] then reports
+    the {e combined} unicast+multicast airtime per AP.
+
+    [disabled_aps] models failed or administratively-down APs: they never
+    answer probes, so no user can discover or associate with them (users
+    arriving with a stale [init] association to a dead AP rejoin through
+    the protocol). *)
+let run ?(seed = 0) ?(mac = Mac.default_config) ?(streaming_window = 1.0)
+    ?(trace_limit = 200_000) ?(loss_rate = 0.) ?unicast_demands
+    ?(disabled_aps = []) ?init ~policy (sc : Scenario.t) =
+  let p = Scenario.to_problem sc in
+  let radio = Radio.of_scenario sc in
+  let engine = Engine.create ~seed () in
+  let trace = Trace.create ~limit:trace_limit () in
+  let n_aps = Scenario.n_aps sc and n_users = Scenario.n_users sc in
+  let session_rates = Array.map Session.rate_mbps sc.Scenario.sessions in
+  let user_session = sc.Scenario.user_session in
+  let aps = Array.init n_aps Proto.ap_create in
+  let assoc = Association.empty ~n_users in
+  let neighbors : Proto.neighbor_info list array = Array.make n_users [] in
+  let passes = ref 0 and converged = ref false and oscillated = ref false in
+  let history = ref [] in
+  let snapshot_pass moves_in_pass =
+    history :=
+      {
+        pass = !passes;
+        served = Association.served_count assoc;
+        total_load = Loads.total_load p assoc;
+        moves_in_pass;
+      }
+      :: !history
+  in
+  let assoc_done = ref 0. in
+
+  let link_rate u a =
+    (List.find (fun (n : Proto.neighbor_info) -> n.ap = a) neighbors.(u))
+      .Proto.link_rate
+  in
+  let apply_move u target =
+    (match Association.ap_of assoc u with
+    | Some old when old <> target ->
+        Proto.ap_leave aps.(old) ~user:u;
+        Trace.log trace ~time:(Engine.now engine)
+          (Trace.Disassociate { user = u; ap = old })
+    | _ -> ());
+    if Association.ap_of assoc u <> Some target then begin
+      Proto.ap_join aps.(target) ~user:u ~session:user_session.(u)
+        ~link_rate:(link_rate u target);
+      Association.serve assoc ~user:u ~ap:target;
+      Trace.log trace ~time:(Engine.now engine)
+        (Trace.Associate { user = u; ap = target })
+    end
+  in
+
+  (* one user's query -> responses -> decision; [commit] receives the
+     decision once all responses have arrived *)
+  let query_and_decide ~objective u ~commit =
+    let resps = ref [] in
+    let pending = ref (List.length neighbors.(u)) in
+    if !pending = 0 then commit None
+    else begin
+      let finish () =
+        decr pending;
+        if !pending = 0 then
+          commit
+            (Proto.decide ~objective ~session_rates
+               ~session:user_session.(u)
+               ~current:(Association.ap_of assoc u)
+               ~neighbors:neighbors.(u) ~responses:!resps)
+      in
+      List.iter
+        (fun (n : Proto.neighbor_info) ->
+          Trace.log trace ~time:(Engine.now engine)
+            (Trace.Query { user = u; ap = n.ap });
+          let lost =
+            loss_rate > 0.
+            && Random.State.float (Engine.rng engine) 1. < loss_rate
+          in
+          if lost then
+            (* the user gives this AP up after a response timeout *)
+            Engine.after engine ~delay:5e-3 finish
+          else begin
+            let rtt =
+              (2. *. Radio.propagation_delay radio ~ap:n.ap ~user:u)
+              +. query_proc
+              +. Engine.jitter engine ~max:0.5e-3
+            in
+            Engine.after engine ~delay:rtt (fun () ->
+                Trace.log trace ~time:(Engine.now engine)
+                  (Trace.Query_response { ap = n.ap; user = u });
+                resps :=
+                  Proto.ap_answer aps.(n.ap) ~session_rates
+                    ~budget:(Problem.ap_budget p n.ap) ~user:u
+                  :: !resps;
+                finish ())
+          end)
+        neighbors.(u)
+    end
+  in
+
+  (* association phase entry point, invoked after scanning completes *)
+  let start_association () =
+    (match init with
+    | Some a ->
+        Array.iteri
+          (fun u ap ->
+            (* a user may have moved out of its old AP's range since the
+               previous epoch; it rejoins through the protocol instead *)
+            let still_in_range =
+              ap >= 0
+              && List.exists
+                   (fun (n : Proto.neighbor_info) -> n.Proto.ap = ap)
+                   neighbors.(u)
+            in
+            if still_in_range then apply_move u ap)
+          a
+    | None -> ());
+    let t0 = Engine.now engine in
+    match policy with
+    | Static_policy a ->
+        Array.iteri (fun u ap -> if ap >= 0 then apply_move u ap) a;
+        converged := true;
+        assoc_done := t0 +. 1e-3;
+        passes := 1
+    | Ssa_policy ->
+        (* users join their strongest AP in index order; the AP admits the
+           user only if its budget allows (no fallback to weaker APs) *)
+        for u = 0 to n_users - 1 do
+          Engine.schedule engine
+            ~at:(t0 +. (float_of_int u *. user_slot))
+            (fun () ->
+              match neighbors.(u) with
+              | [] -> ()
+              | best :: _ ->
+                  let st = aps.(best.Proto.ap) in
+                  Proto.ap_join st ~user:u ~session:user_session.(u)
+                    ~link_rate:best.Proto.link_rate;
+                  if
+                    Proto.ap_load st ~session_rates
+                    <= Problem.ap_budget p best.Proto.ap +. 1e-12
+                  then begin
+                    Association.serve assoc ~user:u ~ap:best.Proto.ap;
+                    Trace.log trace ~time:(Engine.now engine)
+                      (Trace.Associate { user = u; ap = best.Proto.ap })
+                  end
+                  else Proto.ap_leave st ~user:u)
+        done;
+        converged := true;
+        passes := 1;
+        assoc_done := t0 +. (float_of_int n_users *. user_slot)
+    | Distributed_policy { objective; mode; max_passes } ->
+        let seen = Hashtbl.create 64 in
+        let rec pass k t_pass =
+          passes := k;
+          let moves = ref 0 in
+          let pending_decisions = ref [] in
+          let decided = ref 0 in
+          let finish_pass () =
+            (match mode with
+            | Sequential -> ()
+            | Simultaneous ->
+                (* apply the snapshot decisions all at once; a state seen
+                   before (after a round that did move someone) means the
+                   protocol is cycling *)
+                List.iter (fun (u, ap) -> apply_move u ap) !pending_decisions;
+                moves := List.length !pending_decisions;
+                if !moves > 0 then begin
+                  let key = Array.to_list assoc in
+                  if Hashtbl.mem seen key then oscillated := true
+                  else Hashtbl.replace seen key ()
+                end);
+            snapshot_pass !moves;
+            let t_next = Engine.now engine +. user_slot in
+            if !moves = 0 then begin
+              converged := true;
+              assoc_done := t_next
+            end
+            else if k >= max_passes || !oscillated then assoc_done := t_next
+            else pass (k + 1) t_next
+          in
+          for u = 0 to n_users - 1 do
+            let at =
+              match mode with
+              | Sequential -> t_pass +. (float_of_int u *. user_slot)
+              | Simultaneous -> t_pass
+            in
+            Engine.schedule engine ~at (fun () ->
+                query_and_decide ~objective u ~commit:(fun d ->
+                    Trace.log trace ~time:(Engine.now engine)
+                      (Trace.Decision { user = u; moved = d <> None });
+                    (match (d, mode) with
+                    | Some ap, Sequential ->
+                        apply_move u ap;
+                        incr moves
+                    | Some ap, Simultaneous ->
+                        pending_decisions := (u, ap) :: !pending_decisions
+                    | None, _ -> ());
+                    incr decided;
+                    if !decided = n_users then finish_pass ()))
+          done;
+          if n_users = 0 then begin
+            converged := true;
+            assoc_done := t_pass
+          end
+        in
+        pass 1 t0
+  in
+
+  (* phase 1: scanning *)
+  Scanning.start engine ~trace radio ~on_complete:(fun results ->
+      let sorted = Scanning.sort_by_signal results in
+      Array.iteri
+        (fun u l ->
+          neighbors.(u) <-
+            List.filter_map
+              (fun (n : Scanning.neighbor) ->
+                if List.mem n.Scanning.ap disabled_aps then None
+                else
+                  Some
+                    {
+                      Proto.ap = n.Scanning.ap;
+                      link_rate = n.Scanning.link_rate_mbps;
+                      signal = n.Scanning.signal;
+                    })
+              l)
+        sorted;
+      start_association ());
+  ignore (Engine.run engine);
+
+  (* phase 3: streaming over a fresh window after association settles *)
+  let t_stream = !assoc_done +. 10e-3 in
+  let plan =
+    Mac.plan_of_association p assoc
+      ~basic_rate:(Rate_table.basic_rate sc.Scenario.rate_table)
+      ~config:mac
+  in
+  let plan =
+    match unicast_demands with
+    | None -> plan
+    | Some demands ->
+        let uni_assoc =
+          Array.init n_users (fun u ->
+              match neighbors.(u) with
+              | [] -> -1
+              | best :: _ -> best.Proto.ap)
+        in
+        plan
+        @ Mac.unicast_plan ~assoc:uni_assoc ~demands ~link_rate:(fun a u ->
+              Problem.link_rate p ~ap:a ~user:u)
+  in
+  let acc =
+    Mac.start engine ~config:mac ~trace ~n_aps
+      ~window:(t_stream, t_stream +. streaming_window)
+      plan
+  in
+  let sim_time = Engine.run engine in
+  if !history = [] && !passes > 0 then snapshot_pass 0;
+  let solution = Mcast_core.Solution.make ~algorithm:"simulated" p assoc in
+  Log.debug (fun m ->
+      m
+        "run done: %d events, %.3fs virtual, passes %d, converged %b, \
+         oscillated %b, served %d"
+        (Engine.processed engine) sim_time !passes !converged !oscillated
+        solution.Mcast_core.Solution.satisfied);
+  {
+    problem = p;
+    assoc;
+    solution;
+    analytic_loads = Loads.ap_loads p assoc;
+    measured_loads = Mac.measured_loads acc;
+    passes = !passes;
+    pass_history = List.rev !history;
+    converged = !converged;
+    oscillated = !oscillated;
+    events = Engine.processed engine;
+    sim_time;
+    trace;
+  }

@@ -1,0 +1,71 @@
+(** End-to-end simulation runs (the ns-2 substitute): scan → associate
+    (under a policy) → stream → measure. *)
+
+open Wlan_model
+
+type mode = Sequential | Simultaneous
+
+type policy =
+  | Ssa_policy
+      (** users join their strongest AP in index order, with admission
+          control at the multicast budget *)
+  | Distributed_policy of {
+      objective : Mcast_core.Distributed.objective;
+      mode : mode;
+      max_passes : int;
+    }  (** the query/response protocol of {!Proto}, in passes *)
+  | Static_policy of Association.t
+      (** install a precomputed association (centralized algorithms:
+          computed offline, pushed to users) *)
+
+(** Snapshot at the end of each association pass — the protocol's
+    convergence curve. *)
+type pass_stats = {
+  pass : int;
+  served : int;
+  total_load : float;
+  moves_in_pass : int;
+}
+
+type report = {
+  problem : Problem.t;
+  assoc : Association.t;
+  solution : Mcast_core.Solution.t;
+  analytic_loads : float array;  (** Definition 1 on the final association *)
+  measured_loads : float array;  (** airtime counted by the MAC *)
+  passes : int;
+  pass_history : pass_stats list;  (** chronological, one per pass *)
+  converged : bool;
+  oscillated : bool;
+  events : int;  (** simulation events processed *)
+  sim_time : float;
+  trace : Trace.t;
+}
+
+(** [run ~policy sc] simulates the whole pipeline on scenario [sc].
+
+    [init] installs a starting association right after scanning (users
+    whose old AP fell out of range rejoin through the protocol).
+
+    [loss_rate] drops each protocol query/response exchange independently
+    with that probability (deterministically from [seed]); the decision
+    rule degrades gracefully to the neighbors that answered.
+
+    [unicast_demands] (one Mbps figure per user) adds dual association's
+    unicast side to the streaming phase, so [measured_loads] reports the
+    combined unicast+multicast airtime.
+
+    [disabled_aps] never answer probes: no user can discover or associate
+    with them (failed or administratively-down APs). *)
+val run :
+  ?seed:int ->
+  ?mac:Mac.config ->
+  ?streaming_window:float ->
+  ?trace_limit:int ->
+  ?loss_rate:float ->
+  ?unicast_demands:float array ->
+  ?disabled_aps:int list ->
+  ?init:Association.t ->
+  policy:policy ->
+  Scenario.t ->
+  report

@@ -1,0 +1,49 @@
+(** Simulation event traces: a bounded log of (time, kind, detail) records
+    for assertions in tests and for debugging protocol runs. *)
+
+type kind =
+  | Probe_request of { user : int }
+  | Probe_response of { ap : int; user : int }
+  | Query of { user : int; ap : int }
+  | Query_response of { ap : int; user : int }
+  | Associate of { user : int; ap : int }
+  | Disassociate of { user : int; ap : int }
+  | Frame of { ap : int; session : int; airtime : float }
+  | Decision of { user : int; moved : bool }
+  | Mark of string
+
+type record = { time : float; kind : kind }
+
+type t = { mutable records : record list; mutable count : int; limit : int }
+
+let create ?(limit = 200_000) () = { records = []; count = 0; limit }
+
+let log t ~time kind =
+  if t.count < t.limit then begin
+    t.records <- { time; kind } :: t.records;
+    t.count <- t.count + 1
+  end
+
+(** Records in chronological order. *)
+let records t = List.rev t.records
+
+let count t = t.count
+
+let filter t pred = List.filter pred (records t)
+
+let count_kind t pred = List.length (filter t (fun r -> pred r.kind))
+
+let pp_kind ppf = function
+  | Probe_request { user } -> Fmt.pf ppf "probe-req u%d" user
+  | Probe_response { ap; user } -> Fmt.pf ppf "probe-rsp a%d->u%d" ap user
+  | Query { user; ap } -> Fmt.pf ppf "query u%d->a%d" user ap
+  | Query_response { ap; user } -> Fmt.pf ppf "query-rsp a%d->u%d" ap user
+  | Associate { user; ap } -> Fmt.pf ppf "assoc u%d->a%d" user ap
+  | Disassociate { user; ap } -> Fmt.pf ppf "disassoc u%d-/->a%d" user ap
+  | Frame { ap; session; airtime } ->
+      Fmt.pf ppf "frame a%d s%d %.6fs" ap session airtime
+  | Decision { user; moved } ->
+      Fmt.pf ppf "decision u%d %s" user (if moved then "moved" else "stayed")
+  | Mark s -> Fmt.pf ppf "mark %s" s
+
+let pp_record ppf r = Fmt.pf ppf "%.6f %a" r.time pp_kind r.kind

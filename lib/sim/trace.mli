@@ -1,0 +1,32 @@
+(** Simulation event traces: a bounded chronological log of protocol and
+    MAC events for assertions and debugging. *)
+
+type kind =
+  | Probe_request of { user : int }
+  | Probe_response of { ap : int; user : int }
+  | Query of { user : int; ap : int }
+  | Query_response of { ap : int; user : int }
+  | Associate of { user : int; ap : int }
+  | Disassociate of { user : int; ap : int }
+  | Frame of { ap : int; session : int; airtime : float }
+  | Decision of { user : int; moved : bool }
+  | Mark of string
+
+type record = { time : float; kind : kind }
+
+type t
+
+(** [create ~limit ()] — records beyond [limit] (default 200k) are
+    dropped. *)
+val create : ?limit:int -> unit -> t
+
+val log : t -> time:float -> kind -> unit
+
+(** Records in chronological order. *)
+val records : t -> record list
+
+val count : t -> int
+val filter : t -> (record -> bool) -> record list
+val count_kind : t -> (kind -> bool) -> int
+val pp_kind : Format.formatter -> kind -> unit
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,40 @@
+(** Radio channel planning and co-channel interference accounting.
+
+    The paper assumes neighboring APs are channel-planned not to interfere
+    (§3.1) and notes BLA/MLA implicitly reduce whatever interference
+    remains. This module provides the conflict graph, a DSATUR greedy
+    coloring onto the available channels, and metrics charging each AP the
+    multicast load of its same-channel conflict neighbors. *)
+
+(** 802.11a in US/Canada: 12 non-overlapping channels. *)
+val default_n_channels : int
+
+(** APs within [range] meters of each other (carrier-sense range;
+    typically ~2x the data range). *)
+val conflict_edges : range:float -> Point.t array -> (int * int) list
+
+val adjacency : n_aps:int -> (int * int) list -> int list array
+
+type assignment = {
+  channels : int array;  (** AP index -> channel in [0, n_channels) *)
+  n_channels : int;
+  conflict_edges : (int * int) list;
+  residual_conflicts : int;
+      (** same-channel conflict edges the coloring could not avoid *)
+}
+
+(** DSATUR greedy coloring; when all colors clash at a vertex it takes the
+    color least used among its neighbors (graceful degradation).
+    @raise Invalid_argument when [n_channels <= 0]. *)
+val color : ?n_channels:int -> n_aps:int -> (int * int) list -> assignment
+
+(** Whether the paper's no-interference assumption holds outright. *)
+val interference_free : assignment -> bool
+
+(** Per-AP interference: the summed load of co-channel conflicting
+    neighbors. *)
+val co_channel_interference : assignment -> loads:float array -> float array
+
+val total_interference : assignment -> loads:float array -> float
+val max_interference : assignment -> loads:float array -> float
+val pp : Format.formatter -> assignment -> unit

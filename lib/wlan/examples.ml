@@ -1,0 +1,100 @@
+(** The paper's worked examples and NP-hardness constructions, as problem
+    instances. These drive the unit tests: every step-by-step example in the
+    paper (§3.2, §4, §5, §6, Fig. 4) is replayed against them. *)
+
+(** {1 Figure 1}
+
+    Two APs, five users. Link rates (Mbps):
+    - a1 -> u1:3, u2:6, u3:4, u4:4, u5:4
+    - a2 -> u3:5, u4:5, u5:3 (u1, u2 out of range)
+
+    Users u1, u3 request session s1; users u2, u4, u5 request s2. Both APs
+    have multicast budget 1. User indices 0..4 = u1..u5; AP 0 = a1, 1 = a2;
+    session 0 = s1, 1 = s2. *)
+
+let fig1_rates =
+  [| [| 3.; 6.; 4.; 4.; 4. |]; [| 0.; 0.; 5.; 5.; 3. |] |]
+
+let fig1_user_session = [| 0; 1; 0; 1; 1 |]
+
+(** Figure 1 with both session rates set to [rate_mbps] — 3 Mbps for the MNU
+    walk-through, 1 Mbps for the BLA and MLA walk-throughs. *)
+let fig1 ~session_rate_mbps =
+  Problem.make
+    ~session_rates:[| session_rate_mbps; session_rate_mbps |]
+    ~user_session:(Array.copy fig1_user_session)
+    ~rates:(Array.map Array.copy fig1_rates)
+    ~budget:1. ()
+
+(** {1 Figure 4} — the non-convergence example for simultaneous local
+    decisions. Four users, one session at 1 Mbps:
+    - a1 -> u1:5, u2:4, u3:4
+    - a2 -> u2:4, u3:4, u4:5
+
+    Initially u1, u2 are associated with a1 and u3, u4 with a2. When u2 and
+    u3 re-decide simultaneously they swap forever. (The paper's §4.2 prose
+    has a u5/u4 typo; the figure shows four users, which is what we model.) *)
+
+let fig4 =
+  Problem.make ~session_rates:[| 1. |] ~user_session:[| 0; 0; 0; 0 |]
+    ~rates:[| [| 5.; 4.; 4.; 0. |]; [| 0.; 4.; 4.; 5. |] |]
+    ~budget:1. ()
+
+(** The initial association of Figure 4: u1,u2 -> a1; u3,u4 -> a2. *)
+let fig4_initial : Association.t = [| 0; 0; 1; 1 |]
+
+(** {1 NP-hardness constructions} (Appendix A–C). Each turns an instance of
+    the source problem into the equivalent association-control instance; the
+    tests use them to cross-check our solvers against the combinatorial
+    solvers in [Optkit]. *)
+
+(** Appendix A: Subset Sum -> MNU. One AP with multicast budget [target];
+    number [g_i] becomes session [i] with load [g_i] (unit link rates, one
+    session per number, [g_i] users requesting it). Every value is scaled by
+    [scale] so loads stay below 1, mirroring the proof's normalization. *)
+let of_subset_sum ~numbers ~target =
+  let scale = float_of_int (List.fold_left ( + ) 1 numbers + target) in
+  let k = List.length numbers in
+  let session_rates =
+    Array.of_list (List.map (fun g -> float_of_int g /. scale) numbers)
+  in
+  let user_session =
+    List.concat (List.mapi (fun i g -> List.init g (fun _ -> i)) numbers)
+    |> Array.of_list
+  in
+  let n_users = Array.length user_session in
+  let rates = [| Array.make n_users 1. |] in
+  ignore k;
+  Problem.make ~session_rates ~user_session ~rates
+    ~budget:(float_of_int target /. scale)
+    ()
+
+(** Appendix B: Minimum Makespan Scheduling -> BLA. [m] identical machines
+    become [m] APs with a single unit transmission rate to everyone; job [i]
+    with processing time [p_i] becomes session [i] (one user) with stream
+    rate [p_i] scaled below 1. *)
+let of_makespan ~jobs ~machines =
+  let scale = List.fold_left ( +. ) 1. jobs in
+  let session_rates = Array.of_list (List.map (fun p -> p /. scale) jobs) in
+  let n_users = Array.length session_rates in
+  let user_session = Array.init n_users (fun i -> i) in
+  let rates = Array.init machines (fun _ -> Array.make n_users 1.) in
+  Problem.make ~session_rates ~user_session ~rates ~budget:1. ()
+
+(** Appendix C: cardinality Set Cover -> MLA. Subset [S_j] becomes AP [j]
+    that reaches exactly the users in [S_j]; all users request one session
+    with load [c] over unit-rate links. [subsets] are lists of user indices
+    in [0, n_users). *)
+let of_set_cover ~n_users ~subsets ~cost =
+  let rates =
+    Array.of_list
+      (List.map
+         (fun s ->
+           let row = Array.make n_users 0. in
+           List.iter (fun u -> row.(u) <- 1.) s;
+           row)
+         subsets)
+  in
+  Problem.make ~session_rates:[| cost |]
+    ~user_session:(Array.make n_users 0)
+    ~rates ~budget:1. ()

@@ -1,0 +1,125 @@
+(** Multicast load accounting (Definition 1 of the paper).
+
+    An AP that serves a set of users for session [s] transmits [s] at the
+    lowest maximum link rate among those users, so that every receiver can
+    decode. The airtime fraction this costs is
+    [session_rate s /. tx_rate], the AP's {e multicast load} for [s]; an
+    AP's load is the sum over the sessions it serves, and the network's
+    total load is the sum over APs. *)
+
+(** [tx_rates p assoc] gives, for each AP, the transmission rate it must use
+    for each session: [tx.(a).(s)] is the minimum link rate among users of
+    session [s] associated with [a], or [0.] when [a] does not serve [s]. *)
+let tx_rates p (assoc : Association.t) =
+  let n_aps, n_users = Problem.dims p in
+  let tx = Array.make_matrix n_aps (Problem.n_sessions p) 0. in
+  for u = 0 to n_users - 1 do
+    let a = assoc.(u) in
+    if a <> Association.none then begin
+      let s = Problem.user_session p u in
+      let r = Problem.link_rate p ~ap:a ~user:u in
+      if tx.(a).(s) = 0. || r < tx.(a).(s) then tx.(a).(s) <- r
+    end
+  done;
+  tx
+
+(** Load of a single AP given its per-session transmission rates. *)
+let load_of_tx p tx_row =
+  let load = ref 0. in
+  Array.iteri
+    (fun s r -> if r > 0. then load := !load +. (Problem.session_rate p s /. r))
+    tx_row;
+  !load
+
+(** [ap_loads p assoc] is the multicast load of every AP. *)
+let ap_loads p assoc =
+  Array.map (load_of_tx p) (tx_rates p assoc)
+
+(** Load of one AP. Prefer {!ap_loads} when you need all of them. *)
+let ap_load p assoc ~ap =
+  let n_users = Problem.dims p |> snd in
+  let n_s = Problem.n_sessions p in
+  let tx = Array.make n_s 0. in
+  for u = 0 to n_users - 1 do
+    if assoc.(u) = ap then begin
+      let s = Problem.user_session p u in
+      let r = Problem.link_rate p ~ap ~user:u in
+      if tx.(s) = 0. || r < tx.(s) then tx.(s) <- r
+    end
+  done;
+  load_of_tx p tx
+
+(** Total multicast load of the network: the sum of all AP loads. *)
+let total_load p assoc =
+  Array.fold_left ( +. ) 0. (ap_loads p assoc)
+
+(** Maximum multicast load among all APs (the BLA objective). *)
+let max_load p assoc =
+  Array.fold_left Float.max 0. (ap_loads p assoc)
+
+(** Sorted (non-increasing) load vector, the order used by the distributed
+    BLA rule to compare candidate associations. *)
+let sorted_load_vector loads =
+  let v = Array.copy loads in
+  Array.sort (fun a b -> Float.compare b a) v;
+  v
+
+(** Lexicographic comparison of two non-increasing load vectors (footnote 5
+    of the paper): the vector whose first differing entry is smaller is the
+    smaller vector. *)
+let compare_load_vectors (a : float array) (b : float array) =
+  let n = Int.min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then Int.compare (Array.length a) (Array.length b)
+    else
+      let c = Float.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(** Like {!compare_load_vectors} but entries within [eps] are considered
+    equal — decision rules must use this so that float summation-order noise
+    (different agents adding the same loads in different orders) can never
+    flip a strict-improvement test. *)
+let compare_load_vectors_eps ?(eps = 1e-9) (a : float array) (b : float array)
+    =
+  let n = Int.min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then Int.compare (Array.length a) (Array.length b)
+    else if Float.abs (a.(i) -. b.(i)) <= eps then go (i + 1)
+    else Float.compare a.(i) b.(i)
+  in
+  go 0
+
+(** [respects_budget p assoc] checks every AP's load against the per-AP
+    multicast budget, with a small tolerance for float accumulation. *)
+let respects_budget ?(eps = 1e-9) p assoc =
+  let loads = ap_loads p assoc in
+  let ok = ref true in
+  Array.iteri
+    (fun a l -> if l > Problem.ap_budget p a +. eps then ok := false)
+    loads;
+  !ok
+
+(** Marginal-change helpers used by the distributed algorithms. They answer
+    "what would AP [ap]'s load be if user [user] joined / left", without
+    mutating the association. *)
+
+let load_if_joins p assoc ~user ~ap =
+  let old = assoc.(user) in
+  assoc.(user) <- ap;
+  let l = ap_load p assoc ~ap in
+  assoc.(user) <- old;
+  l
+
+let load_if_leaves p assoc ~user ~ap =
+  let old = assoc.(user) in
+  assoc.(user) <- Association.none;
+  let l = ap_load p assoc ~ap in
+  assoc.(user) <- old;
+  l
+
+let pp_loads ppf loads =
+  Fmt.pf ppf "@[<h>%a@]"
+    Fmt.(array ~sep:sp (fun ppf l -> pf ppf "%.4f" l))
+    loads

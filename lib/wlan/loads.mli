@@ -1,0 +1,48 @@
+(** Multicast load accounting (Definition 1 of the paper): an AP serving a
+    session transmits at the lowest max link rate among its receivers of
+    that session, costing [session_rate / tx_rate] of its airtime; an AP's
+    load is the sum over its sessions, the network's total load the sum
+    over APs. *)
+
+(** [tx_rates p assoc].(a).(s) is the rate AP [a] must use for session
+    [s] (the min link rate among its associated receivers of [s]), or [0.]
+    when unserved. *)
+val tx_rates : Problem.t -> Association.t -> float array array
+
+(** Load implied by one AP's per-session transmission-rate row. *)
+val load_of_tx : Problem.t -> float array -> float
+
+(** Multicast load of every AP. *)
+val ap_loads : Problem.t -> Association.t -> float array
+
+(** Load of one AP (prefer {!ap_loads} for all of them). *)
+val ap_load : Problem.t -> Association.t -> ap:int -> float
+
+(** The MLA objective: sum of all AP loads. *)
+val total_load : Problem.t -> Association.t -> float
+
+(** The BLA objective: maximum AP load. *)
+val max_load : Problem.t -> Association.t -> float
+
+(** Non-increasing copy of a load array — the distributed BLA comparison
+    order (footnote 5). *)
+val sorted_load_vector : float array -> float array
+
+(** Exact lexicographic comparison of non-increasing load vectors. *)
+val compare_load_vectors : float array -> float array -> int
+
+(** Like {!compare_load_vectors} but entries within [eps] (default 1e-9)
+    compare equal — decision rules must use this so float summation-order
+    noise can never flip a strict-improvement test. *)
+val compare_load_vectors_eps : ?eps:float -> float array -> float array -> int
+
+(** Every AP within the per-AP multicast budget (tolerance [eps]). *)
+val respects_budget : ?eps:float -> Problem.t -> Association.t -> bool
+
+(** Hypothetical loads for the distributed rules; neither mutates the
+    association. *)
+
+val load_if_joins : Problem.t -> Association.t -> user:int -> ap:int -> float
+val load_if_leaves : Problem.t -> Association.t -> user:int -> ap:int -> float
+
+val pp_loads : Format.formatter -> float array -> unit

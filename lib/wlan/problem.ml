@@ -1,0 +1,169 @@
+(** An abstract association-control problem instance.
+
+    This is the canonical input to every algorithm in [Mcast_core]: the link
+    rate matrix between APs and users, each user's requested session, the
+    session stream rates, and the per-AP multicast load budget. It abstracts
+    away geometry — instances come either from a geometric {!Scenario} (via
+    rate adaptation) or are written down directly (the paper's worked
+    examples and NP-hardness constructions specify link rates explicitly).
+
+    Conventions:
+    - APs and users are dense integer indices.
+    - [rates.(a).(u)] is the maximum link data rate in Mbps from AP [a] to
+      user [u]; [0.] means the user is out of the AP's range.
+    - [signal.(a).(u)] ranks signal strength for the SSA baseline (higher is
+      stronger); by default it equals the link rate, and geometric scenarios
+      install [-. distance] so that "strongest signal" = "nearest AP". *)
+
+type t = {
+  n_aps : int;
+  n_users : int;
+  session_rates : float array;  (** session index -> stream rate (Mbps) *)
+  user_session : int array;  (** user index -> session index *)
+  rates : float array array;  (** [rates.(a).(u)]: max link rate, 0. = out of range *)
+  signal : float array array;  (** [signal.(a).(u)]: higher = stronger *)
+  budget : float;  (** default per-AP multicast load limit, in [0, 1] *)
+  ap_budgets : float array option;
+      (** optional heterogeneous per-AP budgets overriding [budget] *)
+}
+
+let dims t = (t.n_aps, t.n_users)
+let n_sessions t = Array.length t.session_rates
+let session_rate t s = t.session_rates.(s)
+let user_session t u = t.user_session.(u)
+let link_rate t ~ap ~user = t.rates.(ap).(user)
+let in_range t ~ap ~user = t.rates.(ap).(user) > 0.
+let budget t = t.budget
+
+(** The multicast budget of one AP: its entry in [ap_budgets] when
+    heterogeneous budgets are installed, the uniform [budget] otherwise. *)
+let ap_budget t a =
+  match t.ap_budgets with Some b -> b.(a) | None -> t.budget
+
+(** Structural validation; raises [Invalid_argument] on malformed instances. *)
+let validate t =
+  let fail fmt = Fmt.kstr invalid_arg ("Problem.validate: " ^^ fmt) in
+  if t.n_aps < 0 || t.n_users < 0 then fail "negative dimensions";
+  if Array.length t.user_session <> t.n_users then
+    fail "user_session length %d <> n_users %d"
+      (Array.length t.user_session) t.n_users;
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= Array.length t.session_rates then
+        fail "user references unknown session %d" s)
+    t.user_session;
+  Array.iter
+    (fun r -> if r <= 0. then fail "non-positive session rate %g" r)
+    t.session_rates;
+  if Array.length t.rates <> t.n_aps then fail "rates has wrong AP dimension";
+  Array.iter
+    (fun row ->
+      if Array.length row <> t.n_users then fail "rates row has wrong length";
+      Array.iter (fun r -> if r < 0. then fail "negative link rate %g" r) row)
+    t.rates;
+  if Array.length t.signal <> t.n_aps then fail "signal has wrong AP dimension";
+  Array.iter
+    (fun row ->
+      if Array.length row <> t.n_users then fail "signal row has wrong length")
+    t.signal;
+  if t.budget < 0. then fail "negative budget %g" t.budget;
+  (match t.ap_budgets with
+  | None -> ()
+  | Some b ->
+      if Array.length b <> t.n_aps then
+        fail "ap_budgets length %d <> n_aps %d" (Array.length b) t.n_aps;
+      Array.iter (fun x -> if x < 0. then fail "negative AP budget %g" x) b);
+  t
+
+(** [make ~session_rates ~user_session ~rates ~budget ()] builds and
+    validates an instance. [signal] defaults to the rate matrix (highest
+    rate = strongest signal). *)
+let make ?signal ?ap_budgets ~session_rates ~user_session ~rates ~budget () =
+  let n_aps = Array.length rates in
+  let n_users = Array.length user_session in
+  let signal =
+    match signal with
+    | Some s -> s
+    | None -> Array.map Array.copy rates
+  in
+  validate
+    {
+      n_aps;
+      n_users;
+      session_rates;
+      user_session;
+      rates;
+      signal;
+      budget;
+      ap_budgets;
+    }
+
+(** APs within range of user [u], unordered. *)
+let neighbor_aps t u =
+  let acc = ref [] in
+  for a = t.n_aps - 1 downto 0 do
+    if t.rates.(a).(u) > 0. then acc := a :: !acc
+  done;
+  !acc
+
+(** APs within range of user [u], strongest signal first (ties by lower AP
+    index, making the SSA baseline deterministic). *)
+let neighbors_by_signal t u =
+  neighbor_aps t u
+  |> List.stable_sort (fun a b -> Float.compare t.signal.(b).(u) t.signal.(a).(u))
+
+(** The strongest-signal AP of user [u], or [None] if no AP covers [u]. *)
+let strongest_ap t u =
+  match neighbors_by_signal t u with [] -> None | a :: _ -> Some a
+
+(** Users covered by at least one AP. *)
+let coverable_users t =
+  let acc = ref [] in
+  for u = t.n_users - 1 downto 0 do
+    if neighbor_aps t u <> [] then acc := u :: !acc
+  done;
+  !acc
+
+(** Users of session [s] reachable from AP [a] at link rate at least [r]. *)
+let receivers t ~ap ~session ~min_rate =
+  let acc = ref [] in
+  for u = t.n_users - 1 downto 0 do
+    if t.user_session.(u) = session && t.rates.(ap).(u) >= min_rate then
+      acc := u :: !acc
+  done;
+  !acc
+
+(** The distinct link rates that occur in the instance, highest first. These
+    are the only transmission rates an algorithm ever needs to consider. *)
+let distinct_rates t =
+  let module FS = Set.Make (Float) in
+  let s =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left (fun acc r -> if r > 0. then FS.add r acc else acc) acc row)
+      FS.empty t.rates
+  in
+  FS.elements s |> List.rev
+
+(** Replace every positive link rate by the lowest one — stock 802.11
+    broadcast behaviour where multicast always uses the basic rate. *)
+let restrict_to_basic_rate t =
+  match distinct_rates t with
+  | [] -> t
+  | rs ->
+      let basic = List.fold_left Float.min infinity rs in
+      let rates =
+        Array.map (Array.map (fun r -> if r > 0. then basic else 0.)) t.rates
+      in
+      { t with rates }
+
+(** Uniform budget override; clears any heterogeneous budgets. *)
+let with_budget t budget = validate { t with budget; ap_budgets = None }
+
+(** Install heterogeneous per-AP budgets. *)
+let with_ap_budgets t ap_budgets =
+  validate { t with ap_budgets = Some ap_budgets }
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>problem: %d APs, %d users, %d sessions, budget %g@]"
+    t.n_aps t.n_users (n_sessions t) t.budget

@@ -1,0 +1,85 @@
+(** An abstract association-control problem instance — the canonical input
+    to every algorithm in [Mcast_core].
+
+    Conventions:
+    - APs and users are dense integer indices;
+    - [rates.(a).(u)] is the maximum link rate (Mbps) from AP [a] to user
+      [u], with [0.] meaning out of range;
+    - [signal.(a).(u)] ranks signal strength for the SSA baseline (higher
+      is stronger; geometric scenarios install [-. distance]);
+    - [budget] is the per-AP multicast airtime limit in [0, 1].
+
+    The record is exposed read-only by convention: build instances with
+    {!make} (which validates), never mutate the arrays. *)
+
+type t = {
+  n_aps : int;
+  n_users : int;
+  session_rates : float array;  (** session index -> stream rate (Mbps) *)
+  user_session : int array;  (** user index -> session index *)
+  rates : float array array;
+  signal : float array array;
+  budget : float;  (** uniform per-AP multicast airtime limit in [0, 1] *)
+  ap_budgets : float array option;
+      (** optional heterogeneous per-AP budgets overriding [budget] *)
+}
+
+val dims : t -> int * int
+val n_sessions : t -> int
+val session_rate : t -> int -> float
+val user_session : t -> int -> int
+val link_rate : t -> ap:int -> user:int -> float
+val in_range : t -> ap:int -> user:int -> bool
+val budget : t -> float
+
+(** The budget of one AP: its [ap_budgets] entry when heterogeneous
+    budgets are installed, [budget] otherwise. *)
+val ap_budget : t -> int -> float
+
+(** Structural validation; @raise Invalid_argument on malformed
+    instances. Returns its argument. *)
+val validate : t -> t
+
+(** Build and validate an instance. [signal] defaults to the rate matrix
+    (highest rate = strongest signal). *)
+val make :
+  ?signal:float array array ->
+  ?ap_budgets:float array ->
+  session_rates:float array ->
+  user_session:int array ->
+  rates:float array array ->
+  budget:float ->
+  unit ->
+  t
+
+(** APs within range of a user, in ascending index order. *)
+val neighbor_aps : t -> int -> int list
+
+(** APs within range, strongest signal first (ties by lower index). *)
+val neighbors_by_signal : t -> int -> int list
+
+(** The strongest-signal AP, or [None] if no AP covers the user. *)
+val strongest_ap : t -> int -> int option
+
+(** Users covered by at least one AP. *)
+val coverable_users : t -> int list
+
+(** Users of [session] reachable from [ap] at link rate at least
+    [min_rate]. *)
+val receivers : t -> ap:int -> session:int -> min_rate:float -> int list
+
+(** The distinct positive link rates in the instance, highest first — the
+    only transmission rates an algorithm ever needs to consider. *)
+val distinct_rates : t -> float list
+
+(** Replace every positive link rate by the lowest one — stock 802.11
+    broadcast behaviour (multicast always at the basic rate, §3.1). *)
+val restrict_to_basic_rate : t -> t
+
+(** Uniform budget override; clears heterogeneous budgets. *)
+val with_budget : t -> float -> t
+
+(** Install heterogeneous per-AP budgets.
+    @raise Invalid_argument on arity or negative entries. *)
+val with_ap_budgets : t -> float array -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,72 @@
+(** Geometric WLAN deployments.
+
+    A scenario is the physical picture: AP positions, user positions, the
+    session each user requests, the session stream rates, the rate-adaptation
+    table and the per-AP multicast budget. [to_problem] compiles it into the
+    abstract {!Problem} instance the algorithms consume, by running rate
+    adaptation on every AP-user link and installing negative distance as the
+    signal-strength metric (nearest AP = strongest signal). *)
+
+type t = {
+  area_w : float;  (** deployment area width (m) *)
+  area_h : float;  (** deployment area height (m) *)
+  ap_pos : Point.t array;
+  user_pos : Point.t array;
+  user_session : int array;  (** user index -> session index *)
+  sessions : Session.t array;
+  rate_table : Rate_table.t;
+  budget : float;
+}
+
+let n_aps t = Array.length t.ap_pos
+let n_users t = Array.length t.user_pos
+
+let make ~area_w ~area_h ~ap_pos ~user_pos ~user_session ~sessions
+    ?(rate_table = Rate_table.default) ~budget () =
+  if Array.length user_session <> Array.length user_pos then
+    invalid_arg "Scenario.make: user_session/user_pos length mismatch";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= Array.length sessions then
+        invalid_arg "Scenario.make: user requests unknown session")
+    user_session;
+  { area_w; area_h; ap_pos; user_pos; user_session; sessions; rate_table; budget }
+
+(** Distance matrix, AP-major. *)
+let distances t =
+  Array.map
+    (fun ap -> Array.map (fun u -> Point.dist ap u) t.user_pos)
+    t.ap_pos
+
+(** Compile into an abstract problem instance by rate adaptation. *)
+let to_problem t =
+  let d = distances t in
+  let rates =
+    Array.map
+      (Array.map (fun dist ->
+           match Rate_table.rate_at_distance t.rate_table dist with
+           | Some r -> r
+           | None -> 0.))
+      d
+  in
+  let signal = Array.map (Array.map (fun dist -> -.dist)) d in
+  Problem.make ~signal
+    ~session_rates:(Array.map Session.rate_mbps t.sessions)
+    ~user_session:(Array.copy t.user_session)
+    ~rates ~budget:t.budget ()
+
+(** Users with no AP within radio range. *)
+let uncovered_users t =
+  let range = Rate_table.range t.rate_table in
+  let covered u = Array.exists (fun a -> Point.within range a u) t.ap_pos in
+  let acc = ref [] in
+  for u = Array.length t.user_pos - 1 downto 0 do
+    if not (covered t.user_pos.(u)) then acc := u :: !acc
+  done;
+  !acc
+
+let fully_covered t = uncovered_users t = []
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>scenario: %gx%g m, %d APs, %d users, %d sessions@]"
+    t.area_w t.area_h (n_aps t) (n_users t) (Array.length t.sessions)

@@ -1,0 +1,44 @@
+(** Geometric WLAN deployments: AP/user positions, per-user session
+    choice, stream rates, the rate-adaptation table and the per-AP
+    multicast budget. {!to_problem} compiles a scenario into the abstract
+    {!Problem} instance the algorithms consume. *)
+
+type t = {
+  area_w : float;  (** deployment area width (m) *)
+  area_h : float;  (** deployment area height (m) *)
+  ap_pos : Point.t array;
+  user_pos : Point.t array;
+  user_session : int array;
+  sessions : Session.t array;
+  rate_table : Rate_table.t;
+  budget : float;
+}
+
+val n_aps : t -> int
+val n_users : t -> int
+
+(** @raise Invalid_argument on user/session arity or index errors. *)
+val make :
+  area_w:float ->
+  area_h:float ->
+  ap_pos:Point.t array ->
+  user_pos:Point.t array ->
+  user_session:int array ->
+  sessions:Session.t array ->
+  ?rate_table:Rate_table.t ->
+  budget:float ->
+  unit ->
+  t
+
+(** AP-major distance matrix (meters). *)
+val distances : t -> float array array
+
+(** Compile into an abstract problem by rate adaptation; installs
+    [-. distance] as the signal metric (nearest AP = strongest). *)
+val to_problem : t -> Problem.t
+
+(** Users with no AP within radio range. *)
+val uncovered_users : t -> int list
+
+val fully_covered : t -> bool
+val pp : Format.formatter -> t -> unit

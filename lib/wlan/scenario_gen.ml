@@ -1,0 +1,148 @@
+(** Seeded random scenario generation matching the paper's setup (§7):
+    APs and users uniformly at random over the deployment area, every user
+    picking one of the multicast sessions uniformly at random.
+
+    Two knobs generalize the paper's workload for the extension studies:
+    {!placement} clusters users around hotspots (lecture halls, gates) and
+    {!popularity} skews session choice Zipf-style (a few TV channels draw
+    most viewers) — both default to the paper's uniform behaviour. *)
+
+(** How users are placed in the deployment area. *)
+type placement =
+  | Uniform
+  | Clustered of { hotspots : int; sigma_m : float }
+      (** users pick one of [hotspots] uniformly-placed centers and land a
+          Gaussian [sigma_m]-meter offset away (clamped to the area) *)
+
+(** How users pick their multicast session. *)
+type popularity =
+  | Uniform_pop
+  | Zipf of float
+      (** session [k] (1-based) drawn with weight [1 / k^alpha] *)
+
+type config = {
+  area_w : float;
+  area_h : float;
+  n_aps : int;
+  n_users : int;
+  n_sessions : int;
+  session_rate_mbps : float;
+  budget : float;
+  rate_table : Rate_table.t;
+  ensure_coverage : bool;
+      (** resample user positions (up to [max_resample] attempts each) until
+          every user has at least one AP in range — the paper's BLA/MLA
+          experiments require all users to be servable *)
+  max_resample : int;
+  placement : placement;
+  popularity : popularity;
+}
+
+(** The paper's large-scale setup: 1.2 km² area, 200 m range, budget 0.9,
+    5 sessions. Side length is [sqrt 1.2e6] ≈ 1095 m. *)
+let paper_default =
+  let side = sqrt 1.2e6 in
+  {
+    area_w = side;
+    area_h = side;
+    n_aps = 200;
+    n_users = 400;
+    n_sessions = 5;
+    session_rate_mbps = 1.;
+    budget = 0.9;
+    rate_table = Rate_table.default;
+    ensure_coverage = true;
+    max_resample = 10_000;
+    placement = Uniform;
+    popularity = Uniform_pop;
+  }
+
+(** The paper's small-scale optimality setup (Fig. 12): 600 m side area,
+    30 APs, budget 0.042 for the MNU comparison. *)
+let paper_small =
+  {
+    paper_default with
+    area_w = 600.;
+    area_h = 600.;
+    n_aps = 30;
+    n_users = 50;
+    budget = 0.9;
+  }
+
+(* standard Box–Muller normal deviate *)
+let gaussian ~rng ~sigma =
+  let u1 = Float.max 1e-12 (Random.State.float rng 1.) in
+  let u2 = Random.State.float rng 1. in
+  sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let clamp lo hi v = Float.max lo (Float.min hi v)
+
+(* Zipf sampler over [0, n): weight of rank k (1-based) is 1/k^alpha *)
+let zipf_sampler ~alpha ~n =
+  let weights =
+    Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** alpha))
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let cumulative = Array.make n 0. in
+  let acc = ref 0. in
+  Array.iteri
+    (fun i w ->
+      acc := !acc +. w;
+      cumulative.(i) <- !acc /. total)
+    weights;
+  fun rng ->
+    let x = Random.State.float rng 1. in
+    let rec find i = if i >= n - 1 || cumulative.(i) >= x then i else find (i + 1) in
+    find 0
+
+let generate ~rng (cfg : config) =
+  let ap_pos =
+    Array.init cfg.n_aps (fun _ ->
+        Point.random ~rng ~w:cfg.area_w ~h:cfg.area_h)
+  in
+  let range = Rate_table.range cfg.rate_table in
+  let covered p = Array.exists (fun a -> Point.within range a p) ap_pos in
+  let raw_user_point =
+    match cfg.placement with
+    | Uniform -> fun () -> Point.random ~rng ~w:cfg.area_w ~h:cfg.area_h
+    | Clustered { hotspots; sigma_m } ->
+        let hotspots = Int.max 1 hotspots in
+        let centers =
+          Array.init hotspots (fun _ ->
+              Point.random ~rng ~w:cfg.area_w ~h:cfg.area_h)
+        in
+        fun () ->
+          let c = centers.(Random.State.int rng hotspots) in
+          Point.v
+            (clamp 0. cfg.area_w (c.Point.x +. gaussian ~rng ~sigma:sigma_m))
+            (clamp 0. cfg.area_h (c.Point.y +. gaussian ~rng ~sigma:sigma_m))
+  in
+  let user_point () =
+    let p = ref (raw_user_point ()) in
+    if cfg.ensure_coverage && cfg.n_aps > 0 then begin
+      let attempts = ref 0 in
+      while (not (covered !p)) && !attempts < cfg.max_resample do
+        p := raw_user_point ();
+        incr attempts
+      done
+    end;
+    !p
+  in
+  let user_pos = Array.init cfg.n_users (fun _ -> user_point ()) in
+  let pick_session =
+    match cfg.popularity with
+    | Uniform_pop -> fun rng -> Random.State.int rng cfg.n_sessions
+    | Zipf alpha -> zipf_sampler ~alpha ~n:cfg.n_sessions
+  in
+  let user_session = Array.init cfg.n_users (fun _ -> pick_session rng) in
+  let sessions =
+    Session.uniform ~n:cfg.n_sessions ~rate_mbps:cfg.session_rate_mbps
+  in
+  Scenario.make ~area_w:cfg.area_w ~area_h:cfg.area_h ~ap_pos ~user_pos
+    ~user_session ~sessions ~rate_table:cfg.rate_table ~budget:cfg.budget ()
+
+(** [problems ~seed ~n cfg] generates [n] independent problem instances from
+    one master seed — the paper reports min/avg/max over 40 such scenarios. *)
+let problems ~seed ~n cfg =
+  let rng = Random.State.make [| seed |] in
+  List.init n (fun _ -> Scenario.to_problem (generate ~rng cfg))

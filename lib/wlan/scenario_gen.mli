@@ -1,0 +1,47 @@
+(** Seeded random scenario generation matching the paper's setup (§7),
+    with two workload generalizations for the extension studies:
+    clustered user placement and Zipf-skewed session popularity (both
+    default to the paper's uniform behaviour). *)
+
+(** How users are placed in the deployment area. *)
+type placement =
+  | Uniform
+  | Clustered of { hotspots : int; sigma_m : float }
+      (** users pick one of [hotspots] uniformly-placed centers and land a
+          Gaussian [sigma_m]-meter offset away (clamped to the area) *)
+
+(** How users pick their multicast session. *)
+type popularity =
+  | Uniform_pop
+  | Zipf of float  (** rank [k] (1-based) drawn with weight [1 / k^alpha] *)
+
+type config = {
+  area_w : float;
+  area_h : float;
+  n_aps : int;
+  n_users : int;
+  n_sessions : int;
+  session_rate_mbps : float;
+  budget : float;
+  rate_table : Rate_table.t;
+  ensure_coverage : bool;
+      (** resample user positions until every user has an AP in range *)
+  max_resample : int;
+  placement : placement;
+  popularity : popularity;
+}
+
+(** The paper's large-scale setup: 1.2 km² area, 200 APs, 400 users,
+    5 sessions at 1 Mbps, budget 0.9, uniform everything. *)
+val paper_default : config
+
+(** The paper's small-scale optimality setup (Fig. 12): 600 m side,
+    30 APs. *)
+val paper_small : config
+
+(** One random scenario drawn from [rng]. *)
+val generate : rng:Random.State.t -> config -> Scenario.t
+
+(** [problems ~seed ~n cfg]: [n] independent problem instances from one
+    master seed (the paper averages over 40 such scenarios). *)
+val problems : seed:int -> n:int -> config -> Problem.t list

@@ -1,0 +1,131 @@
+(** Plain-text serialization of scenarios, so deployments can be saved,
+    shared and replayed exactly (the reproducibility role the paper's
+    published ns-2 scripts served).
+
+    The format is a line-oriented text file:
+
+    {v
+    wlan-mcast-scenario 1
+    area <w> <h>
+    budget <b>
+    rates <rate>:<threshold> <rate>:<threshold> ...
+    sessions <rate0> <rate1> ...
+    ap <x> <y>                 (one line per AP)
+    user <x> <y> <session>     (one line per user)
+    v}
+
+    Floats are printed with ["%.17g"] so parsing reproduces them bit for
+    bit. Unknown lines are an error — the format is versioned, not
+    extensible. *)
+
+let version = 1
+
+let to_string (sc : Scenario.t) =
+  let buf = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "wlan-mcast-scenario %d\n" version;
+  pf "area %.17g %.17g\n" sc.Scenario.area_w sc.Scenario.area_h;
+  pf "budget %.17g\n" sc.Scenario.budget;
+  pf "rates";
+  List.iter
+    (fun (e : Rate_table.entry) ->
+      pf " %.17g:%.17g" e.Rate_table.rate_mbps e.Rate_table.threshold_m)
+    (Rate_table.entries sc.Scenario.rate_table);
+  pf "\n";
+  pf "sessions";
+  Array.iter (fun s -> pf " %.17g" (Session.rate_mbps s)) sc.Scenario.sessions;
+  pf "\n";
+  Array.iter
+    (fun (p : Point.t) -> pf "ap %.17g %.17g\n" p.Point.x p.Point.y)
+    sc.Scenario.ap_pos;
+  Array.iteri
+    (fun u (p : Point.t) ->
+      pf "user %.17g %.17g %d\n" p.Point.x p.Point.y
+        sc.Scenario.user_session.(u))
+    sc.Scenario.user_pos;
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let float_of s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail "bad float %S" s
+  in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail "bad int %S" s
+  in
+  let area = ref None and budget = ref None in
+  let rates = ref None and sessions = ref None in
+  let aps = ref [] and users = ref [] in
+  (match lines with
+  | header :: _ -> (
+      match String.split_on_char ' ' header with
+      | [ "wlan-mcast-scenario"; v ] when int_of v = version -> ()
+      | [ "wlan-mcast-scenario"; v ] -> fail "unsupported version %s" v
+      | _ -> fail "missing header")
+  | [] -> fail "empty scenario file");
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match String.split_on_char ' ' line with
+        | [ "area"; w; h ] -> area := Some (float_of w, float_of h)
+        | [ "budget"; b ] -> budget := Some (float_of b)
+        | "rates" :: entries ->
+            rates :=
+              Some
+                (List.map
+                   (fun e ->
+                     match String.split_on_char ':' e with
+                     | [ r; t ] ->
+                         {
+                           Rate_table.rate_mbps = float_of r;
+                           threshold_m = float_of t;
+                         }
+                     | _ -> fail "bad rate entry %S" e)
+                   entries)
+        | "sessions" :: rs ->
+            sessions :=
+              Some
+                (Array.of_list
+                   (List.mapi
+                      (fun id r -> Session.make ~id ~rate_mbps:(float_of r))
+                      rs))
+        | [ "ap"; x; y ] -> aps := Point.v (float_of x) (float_of y) :: !aps
+        | [ "user"; x; y; s ] ->
+            users := (Point.v (float_of x) (float_of y), int_of s) :: !users
+        | _ -> fail "unrecognized line %S" line)
+    lines;
+  let require what = function Some v -> v | None -> fail "missing %s" what in
+  let area_w, area_h = require "area" !area in
+  let users = List.rev !users in
+  Scenario.make ~area_w ~area_h
+    ~ap_pos:(Array.of_list (List.rev !aps))
+    ~user_pos:(Array.of_list (List.map fst users))
+    ~user_session:(Array.of_list (List.map snd users))
+    ~sessions:(require "sessions" !sessions)
+    ~rate_table:(Rate_table.make (require "rates" !rates))
+    ~budget:(require "budget" !budget)
+    ()
+
+let to_file path sc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string sc))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,16 @@
+(** Plain-text serialization of scenarios: save a deployment, share it,
+    replay it exactly (floats round-trip bit for bit). The line-oriented
+    format is documented in the implementation; it is versioned and
+    strict — unknown lines raise {!Parse_error}. *)
+
+exception Parse_error of string
+
+val to_string : Scenario.t -> string
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> Scenario.t
+
+val to_file : string -> Scenario.t -> unit
+
+(** @raise Parse_error on malformed input; [Sys_error] on IO failure. *)
+val of_file : string -> Scenario.t

@@ -1,0 +1,83 @@
+(** Deployment statistics: the topology-level facts an operator (or a
+    reviewer) wants before trusting any association result — coverage,
+    overlap (the paper's whole premise is "dense deployments have
+    overlapping coverage worth exploiting"), link-rate mix, and
+    per-session audience sizes. *)
+
+type t = {
+  n_aps : int;
+  n_users : int;
+  covered_users : int;
+  mean_user_degree : float;  (** mean APs in range per covered user *)
+  max_user_degree : int;
+  multi_covered_users : int;  (** users with >= 2 APs in range *)
+  mean_best_rate : float;  (** mean best link rate per covered user (Mbps) *)
+  rate_histogram : (float * int) list;
+      (** distinct best-link rates -> user counts, highest rate first *)
+  session_audience : int array;  (** session index -> subscriber count *)
+}
+
+let of_problem p =
+  let _, n_users = Problem.dims p in
+  let covered = Problem.coverable_users p in
+  let degrees = List.map (fun u -> List.length (Problem.neighbor_aps p u)) covered in
+  let best_rates =
+    List.map
+      (fun u ->
+        List.fold_left
+          (fun acc a -> Float.max acc (Problem.link_rate p ~ap:a ~user:u))
+          0. (Problem.neighbor_aps p u))
+      covered
+  in
+  let n_cov = List.length covered in
+  let fcov = float_of_int (Int.max 1 n_cov) in
+  let histogram =
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun r ->
+        Hashtbl.replace tbl r (1 + Option.value ~default:0 (Hashtbl.find_opt tbl r)))
+      best_rates;
+    Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Float.compare b a)
+  in
+  let session_audience = Array.make (Problem.n_sessions p) 0 in
+  for u = 0 to n_users - 1 do
+    let s = Problem.user_session p u in
+    session_audience.(s) <- session_audience.(s) + 1
+  done;
+  {
+    n_aps = fst (Problem.dims p);
+    n_users;
+    covered_users = n_cov;
+    mean_user_degree =
+      float_of_int (List.fold_left ( + ) 0 degrees) /. fcov;
+    max_user_degree = List.fold_left Int.max 0 degrees;
+    multi_covered_users =
+      List.length (List.filter (fun d -> d >= 2) degrees);
+    mean_best_rate = List.fold_left ( +. ) 0. best_rates /. fcov;
+    rate_histogram = histogram;
+    session_audience;
+  }
+
+(** Fraction of covered users that could be moved off their strongest AP —
+    the overlap the paper's association control exploits. *)
+let reassignable_fraction t =
+  if t.covered_users = 0 then 0.
+  else float_of_int t.multi_covered_users /. float_of_int t.covered_users
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>deployment: %d APs, %d users (%d covered, %.1f%%)@,\
+     coverage overlap: mean %.1f APs/user, max %d; %d users (%.0f%%) have \
+     an alternative AP@,\
+     best link rates: mean %.1f Mbps; histogram %a@,\
+     session audiences: %a@]"
+    t.n_aps t.n_users t.covered_users
+    (100. *. float_of_int t.covered_users /. float_of_int (Int.max 1 t.n_users))
+    t.mean_user_degree t.max_user_degree t.multi_covered_users
+    (100. *. reassignable_fraction t)
+    t.mean_best_rate
+    Fmt.(hbox (list ~sep:sp (fun ppf (r, c) -> pf ppf "%g:%d" r c)))
+    t.rate_histogram
+    Fmt.(hbox (array ~sep:sp int))
+    t.session_audience

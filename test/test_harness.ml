@@ -1,0 +1,273 @@
+(* Tests for the evaluation harness: statistics, series utilities, report
+   rendering, and — most importantly — the qualitative shape of the paper's
+   figures on reduced scenario counts (who wins, and how curves move with
+   users / APs / sessions / budget). *)
+
+open Harness
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* a small config so the whole suite stays fast *)
+let cfg =
+  {
+    Experiments.scenarios = 3;
+    small_scenarios = 1;
+    seed = 424242;
+    ilp_node_limit = 200;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_summarize () =
+  let s = Stats.summarize [ 1.; 2.; 6. ] in
+  Alcotest.(check (float 1e-9)) "mean" 3. s.Stats.mean;
+  Alcotest.(check (float 1e-9)) "min" 1. s.Stats.min;
+  Alcotest.(check (float 1e-9)) "max" 6. s.Stats.max;
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize []))
+
+let test_pct () =
+  Alcotest.(check (float 1e-9)) "reduction" 25.
+    (Stats.pct_reduction ~baseline:4. ~improved:3.);
+  Alcotest.(check (float 1e-9)) "gain" 50.
+    (Stats.pct_gain ~baseline:4. ~improved:6.);
+  Alcotest.(check (float 1e-9)) "zero baseline" 0.
+    (Stats.pct_reduction ~baseline:0. ~improved:3.)
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig_fixture =
+  {
+    Series.id = "t";
+    title = "t";
+    x_label = "x";
+    y_label = "y";
+    points =
+      [
+        { Series.x = 1.; values = [ ("a", Stats.summarize [ 1. ]) ] };
+        { Series.x = 2.; values = [ ("a", Stats.summarize [ 5. ]) ] };
+      ];
+  }
+
+let test_series_lookup () =
+  Alcotest.(check (list string)) "names" [ "a" ] (Series.series_names fig_fixture);
+  Alcotest.(check (option (float 1e-9))) "mean_at" (Some 5.)
+    (Series.mean_at fig_fixture "a" 2.);
+  Alcotest.(check (option (float 1e-9))) "last_mean" (Some 5.)
+    (Series.last_mean fig_fixture "a");
+  Alcotest.(check (option (float 1e-9))) "missing series" None
+    (Series.mean_at fig_fixture "b" 2.);
+  Alcotest.(check (option (float 1e-9))) "missing x" None
+    (Series.mean_at fig_fixture "a" 3.)
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_renders () =
+  let s = Fmt.str "%a" Report.pp_figure fig_fixture in
+  Alcotest.(check bool) "has series name" true
+    (String.length s > 0
+    && Astring.String.is_infix ~affix:"a" s
+    && Astring.String.is_infix ~affix:"== t" s)
+
+let test_csv_export () =
+  let csv = Report.to_csv fig_fixture in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check string) "header" "x,a mean,a min,a max" (List.nth lines 0);
+  Alcotest.(check string) "row 1" "1,1,1,1" (List.nth lines 1);
+  Alcotest.(check string) "row 2" "2,5,5,5" (List.nth lines 2)
+
+let test_csv_missing_series_cells () =
+  let fig =
+    {
+      fig_fixture with
+      Series.points =
+        fig_fixture.Series.points
+        @ [ { Series.x = 3.; values = [ ("b", Stats.summarize [ 9. ]) ] } ];
+    }
+  in
+  let csv = Report.to_csv fig in
+  let lines = String.split_on_char '\n' csv in
+  Alcotest.(check string) "union header" "x,a mean,a min,a max,b mean,b min,b max"
+    (List.nth lines 0);
+  Alcotest.(check string) "missing cells empty" "3,,,,9,9,9" (List.nth lines 3)
+
+let test_table1_renders () =
+  let s = Fmt.str "%a" Report.pp_table1 (Experiments.table1 ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (Astring.String.is_infix ~affix:needle s))
+    [ "54"; "200"; "Rate" ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure shapes (the paper's qualitative claims)                      *)
+(* ------------------------------------------------------------------ *)
+
+let mean_exn fig name x = Option.get (Series.mean_at fig name x)
+
+let every_point fig pred =
+  List.for_all
+    (fun (p : Series.point) -> pred p.Series.x p.Series.values)
+    fig.Series.points
+
+let test_table1_roundtrip () =
+  Alcotest.(check int) "7 rates" 7 (List.length (Experiments.table1 ()))
+
+(* fig9a: MLA (both) beat SSA at every user count; total load grows with
+   users for every algorithm *)
+let fig9a = lazy (Experiments.fig9a ~cfg ())
+
+let test_fig9a_mla_beats_ssa () =
+  let fig = Lazy.force fig9a in
+  Alcotest.(check bool) "MLA <= SSA everywhere" true
+    (every_point fig (fun _ values ->
+         let m = (List.assoc "MLA-centralized" values).Stats.mean in
+         let d = (List.assoc "MLA-distributed" values).Stats.mean in
+         let s = (List.assoc "SSA" values).Stats.mean in
+         m <= s +. 1e-9 && d <= s +. 1e-9))
+
+let test_fig9a_total_load_grows_with_users () =
+  let fig = Lazy.force fig9a in
+  let series = [ "MLA-centralized"; "SSA" ] in
+  List.iter
+    (fun name ->
+      let means =
+        List.map
+          (fun (p : Series.point) ->
+            (List.assoc name p.Series.values).Stats.mean)
+          fig.Series.points
+      in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b +. 0.05 && mono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (name ^ " nondecreasing") true (mono means))
+    series
+
+(* fig9b: total load decreases as APs increase (density raises rates) *)
+let test_fig9b_load_falls_with_aps () =
+  let fig = Experiments.fig9b ~cfg () in
+  let first = mean_exn fig "MLA-centralized" 25. in
+  let last = mean_exn fig "MLA-centralized" 200. in
+  Alcotest.(check bool) "fewer APs, higher load" true (first > last)
+
+(* fig10a: BLA (both) at or below SSA's max load at every point *)
+let test_fig10a_bla_beats_ssa () =
+  let fig = Experiments.fig10a ~cfg () in
+  Alcotest.(check bool) "BLA <= SSA everywhere" true
+    (every_point fig (fun _ values ->
+         let c = (List.assoc "BLA-centralized" values).Stats.mean in
+         let d = (List.assoc "BLA-distributed" values).Stats.mean in
+         let s = (List.assoc "SSA" values).Stats.mean in
+         c <= s +. 1e-9 && d <= s +. 1e-9))
+
+(* fig11: satisfied users grow with the budget; MNU >= SSA at every point *)
+let test_fig11_shape () =
+  let fig = Experiments.fig11 ~cfg () in
+  Alcotest.(check bool) "MNU >= SSA everywhere" true
+    (every_point fig (fun _ values ->
+         let m = (List.assoc "MNU-centralized" values).Stats.mean in
+         let s = (List.assoc "SSA" values).Stats.mean in
+         m >= s -. 1e-9));
+  let means =
+    List.map
+      (fun (p : Series.point) ->
+        (List.assoc "MNU-centralized" p.Series.values).Stats.mean)
+      fig.Series.points
+  in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && mono rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "satisfied grows with budget" true (mono means)
+
+(* ablations *)
+let test_ablate_rate_basic_worse () =
+  let fig = Experiments.ablate_rate ~cfg () in
+  let multi = mean_exn fig "MLA-centralized" 0. in
+  let basic = mean_exn fig "MLA-centralized" 1. in
+  Alcotest.(check bool) "basic rate costs more airtime" true (basic >= multi);
+  (* and association control still beats SSA at the basic rate (§3.1) *)
+  let ssa_basic = mean_exn fig "SSA" 1. in
+  Alcotest.(check bool) "MLA beats SSA at basic rate too" true
+    (basic <= ssa_basic +. 1e-9)
+
+let test_ablate_bla_mode () =
+  let fig = Experiments.ablate_bla_mode ~cfg () in
+  let soft = mean_exn fig "soft (paper Fig. 3)" 400. in
+  let hard = mean_exn fig "hard caps" 400. in
+  Alcotest.(check bool) "both positive" true (soft > 0. && hard > 0.);
+  Alcotest.(check bool) "hard caps no worse on average" true
+    (hard <= soft +. 1e-9)
+
+let test_ablate_sched_locked_converges_same_ballpark () =
+  let fig = Experiments.ablate_sched ~cfg () in
+  let seq = mean_exn fig "total-load" 0. in
+  let locked = mean_exn fig "total-load" 2. in
+  Alcotest.(check bool) "locked within 10% of sequential" true
+    (Float.abs (locked -. seq) <= 0.1 *. seq)
+
+(* fig12 on a truly tiny config: optimal <= greedy *)
+let test_fig12a_optimal_lower_bound () =
+  let tiny =
+    { cfg with small_scenarios = 1; ilp_node_limit = 50_000 }
+  in
+  let fig = Experiments.fig12a ~cfg:tiny () in
+  Alcotest.(check bool) "optimal <= both greedy algorithms" true
+    (every_point fig (fun _ values ->
+         let o = (List.assoc "optimal" values).Stats.mean in
+         let c = (List.assoc "MLA-centralized" values).Stats.mean in
+         let d = (List.assoc "MLA-distributed" values).Stats.mean in
+         (not (Float.is_nan o)) && o <= c +. 1e-6 && o <= d +. 1e-6))
+
+let qcheck_stats =
+  QCheck.Test.make ~name:"summarize bounds: min <= mean <= max" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 30) (float_range (-100.) 100.))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.mean +. 1e-9
+      && s.Stats.mean <= s.Stats.max +. 1e-9
+      && s.Stats.n = List.length xs
+      && feq ~eps:1e-6
+           (s.Stats.mean *. float_of_int s.Stats.n)
+           (List.fold_left ( +. ) 0. xs))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  let slow name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "harness"
+    [
+      ( "stats",
+        [
+          tc "summarize" test_summarize;
+          tc "percentages" test_pct;
+          QCheck_alcotest.to_alcotest qcheck_stats;
+        ] );
+      ("series", [ tc "lookup" test_series_lookup ]);
+      ( "report",
+        [
+          tc "figure renders" test_report_renders;
+          tc "csv export" test_csv_export;
+          tc "csv missing cells" test_csv_missing_series_cells;
+          tc "table1 renders" test_table1_renders;
+        ] );
+      ( "figure shapes",
+        [
+          tc "table1 roundtrip" test_table1_roundtrip;
+          slow "fig9a: MLA beats SSA" test_fig9a_mla_beats_ssa;
+          slow "fig9a: load grows with users" test_fig9a_total_load_grows_with_users;
+          slow "fig9b: load falls with APs" test_fig9b_load_falls_with_aps;
+          slow "fig10a: BLA beats SSA" test_fig10a_bla_beats_ssa;
+          slow "fig11: budget shape" test_fig11_shape;
+          slow "fig12a: optimal is a lower bound" test_fig12a_optimal_lower_bound;
+          slow "ablation: basic rate" test_ablate_rate_basic_worse;
+          slow "ablation: bla mode" test_ablate_bla_mode;
+          slow "ablation: schedulers" test_ablate_sched_locked_converges_same_ballpark;
+        ] );
+    ]

@@ -1,0 +1,467 @@
+(* Tests for the dense two-phase simplex (Optkit.Lp) and the 0/1 branch
+   and bound (Optkit.Ilp), including randomized cross-checks against
+   exhaustive enumeration. *)
+
+open Optkit
+
+let feq ?(eps = 1e-6) a b = Float.abs (a -. b) <= eps
+
+let check_float ?eps msg expected actual =
+  if not (feq ?eps expected actual) then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+let opt = function
+  | Lp.Optimal s -> s
+  | Lp.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let c coeffs cmp rhs = Lp.{ coeffs; cmp; rhs }
+
+(* ------------------------------------------------------------------ *)
+(* LP                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_textbook_max () =
+  (* max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 -> 36 at (2,6) *)
+  let p =
+    Lp.
+      {
+        n_vars = 2;
+        maximize = true;
+        objective = [| 3.; 5. |];
+        constraints =
+          [|
+            c [| 1.; 0. |] Le 4.;
+            c [| 0.; 2. |] Le 12.;
+            c [| 3.; 2. |] Le 18.;
+          |];
+      }
+  in
+  let s = opt (Lp.solve p) in
+  check_float "objective" 36. s.Lp.objective_value;
+  check_float "x" 2. s.Lp.x.(0);
+  check_float "y" 6. s.Lp.x.(1)
+
+let test_lp_minimization_with_ge () =
+  (* min 2x + 3y s.t. x + y >= 4; x >= 1 -> 9 at (3? no) ...
+     cheapest per unit is x: all on x -> x=4, y=0, cost 8 *)
+  let p =
+    Lp.
+      {
+        n_vars = 2;
+        maximize = false;
+        objective = [| 2.; 3. |];
+        constraints = [| c [| 1.; 1. |] Ge 4.; c [| 1.; 0. |] Ge 1. |];
+      }
+  in
+  let s = opt (Lp.solve p) in
+  check_float "objective" 8. s.Lp.objective_value;
+  check_float "x" 4. s.Lp.x.(0)
+
+let test_lp_equality () =
+  (* max x + y s.t. x + y = 3; x <= 1 -> 3 with x <= 1 *)
+  let p =
+    Lp.
+      {
+        n_vars = 2;
+        maximize = true;
+        objective = [| 1.; 1. |];
+        constraints = [| c [| 1.; 1. |] Eq 3.; c [| 1.; 0. |] Le 1. |];
+      }
+  in
+  let s = opt (Lp.solve p) in
+  check_float "objective" 3. s.Lp.objective_value;
+  Alcotest.(check bool) "x within bound" true (s.Lp.x.(0) <= 1. +. 1e-9)
+
+let test_lp_infeasible () =
+  let p =
+    Lp.
+      {
+        n_vars = 1;
+        maximize = true;
+        objective = [| 1. |];
+        constraints = [| c [| 1. |] Ge 5.; c [| 1. |] Le 2. |];
+      }
+  in
+  (match Lp.solve p with
+  | Lp.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible")
+
+let test_lp_unbounded () =
+  let p =
+    Lp.
+      {
+        n_vars = 1;
+        maximize = true;
+        objective = [| 1. |];
+        constraints = [| c [| -1. |] Le 1. |];
+      }
+  in
+  match Lp.solve p with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_lp_negative_rhs_normalization () =
+  (* -x <= -2  <=>  x >= 2; min x -> 2 *)
+  let p =
+    Lp.
+      {
+        n_vars = 1;
+        maximize = false;
+        objective = [| 1. |];
+        constraints = [| c [| -1. |] Le (-2.) |];
+      }
+  in
+  let s = opt (Lp.solve p) in
+  check_float "x = 2" 2. s.Lp.x.(0)
+
+let test_lp_degenerate () =
+  (* redundant constraints / degenerate vertex *)
+  let p =
+    Lp.
+      {
+        n_vars = 2;
+        maximize = true;
+        objective = [| 1.; 1. |];
+        constraints =
+          [|
+            c [| 1.; 0. |] Le 1.;
+            c [| 1.; 0. |] Le 1.;
+            c [| 0.; 1. |] Le 1.;
+            c [| 1.; 1. |] Le 2.;
+          |];
+      }
+  in
+  let s = opt (Lp.solve p) in
+  check_float "objective" 2. s.Lp.objective_value
+
+let test_lp_fractional_relaxation_value () =
+  (* LP relaxation of vertex cover on a triangle: all x = 1/2, value 1.5 *)
+  let p =
+    Lp.
+      {
+        n_vars = 3;
+        maximize = false;
+        objective = [| 1.; 1.; 1. |];
+        constraints =
+          [|
+            c [| 1.; 1.; 0. |] Ge 1.;
+            c [| 0.; 1.; 1. |] Ge 1.;
+            c [| 1.; 0.; 1. |] Ge 1.;
+          |];
+      }
+  in
+  let s = opt (Lp.solve p) in
+  check_float "fractional optimum" 1.5 s.Lp.objective_value
+
+(* random LPs, checked against brute force over constraint-boundary grid:
+   instead we check weak duality-style invariants: solution is feasible and
+   no sampled feasible point beats it *)
+let gen_lp =
+  QCheck.Gen.(
+    let* n_vars = int_range 1 4 in
+    let* n_cons = int_range 1 5 in
+    let* maximize = bool in
+    let* objective = array_repeat n_vars (float_range (-3.) 3.) in
+    let* constraints =
+      array_repeat n_cons
+        (let* coeffs = array_repeat n_vars (float_range 0.1 3.) in
+         let* rhs = float_range 0.5 10. in
+         return (c coeffs Lp.Le rhs))
+    in
+    (* all-positive Le rows with positive rhs: feasible (origin) and bounded
+       in the maximize direction only if objective <= 0 somewhere... make it
+       bounded by adding a box row *)
+    let box = c (Array.make n_vars 1.) Lp.Le 20. in
+    return
+      Lp.
+        {
+          n_vars;
+          maximize;
+          objective;
+          constraints = Array.append constraints [| box |];
+        })
+
+let arb_lp = QCheck.make gen_lp
+
+let feasible_point (p : Lp.problem) x =
+  Array.for_all (fun v -> v >= -1e-7) x
+  && Array.for_all
+       (fun ct ->
+         let dot = ref 0. in
+         Array.iteri (fun i v -> dot := !dot +. (v *. x.(i))) ct.Lp.coeffs;
+         match ct.Lp.cmp with
+         | Lp.Le -> !dot <= ct.Lp.rhs +. 1e-6
+         | Lp.Ge -> !dot >= ct.Lp.rhs -. 1e-6
+         | Lp.Eq -> Float.abs (!dot -. ct.Lp.rhs) <= 1e-6)
+       p.Lp.constraints
+
+let prop_lp_solution_feasible =
+  QCheck.Test.make ~name:"LP optimum is feasible" ~count:200 arb_lp (fun p ->
+      match Lp.solve p with
+      | Lp.Optimal s -> feasible_point p s.Lp.x
+      | Lp.Infeasible -> false (* origin is always feasible here *)
+      | Lp.Unbounded -> false (* box bounds everything *))
+
+let prop_lp_beats_random_feasible_points =
+  QCheck.Test.make ~name:"no sampled feasible point beats the LP optimum"
+    ~count:100 arb_lp (fun p ->
+      match Lp.solve p with
+      | Lp.Optimal s ->
+          let rng = Random.State.make [| 37 |] in
+          let ok = ref true in
+          for _ = 1 to 200 do
+            let x =
+              Array.init p.Lp.n_vars (fun _ -> Random.State.float rng 5.)
+            in
+            if feasible_point p x then begin
+              let v = ref 0. in
+              Array.iteri
+                (fun i o -> v := !v +. (o *. x.(i)))
+                p.Lp.objective;
+              if p.Lp.maximize then begin
+                if !v > s.Lp.objective_value +. 1e-5 then ok := false
+              end
+              else if !v < s.Lp.objective_value -. 1e-5 then ok := false
+            end
+          done;
+          !ok
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* ILP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_ilp_knapsack () =
+  (* max 10a + 6b + 4c s.t. a+b+c <= 2 (binary) -> 16 *)
+  let base =
+    Lp.
+      {
+        n_vars = 3;
+        maximize = true;
+        objective = [| 10.; 6.; 4. |];
+        constraints = [| c [| 1.; 1.; 1. |] Le 2. |];
+      }
+  in
+  let sol =
+    Option.get (Ilp.solve { Ilp.base; binary = [| true; true; true |] })
+  in
+  check_float "objective 16" 16. sol.Ilp.objective_value;
+  Alcotest.(check bool) "proved" true sol.Ilp.proved_optimal
+
+let test_ilp_fractional_gap () =
+  (* knapsack where LP relaxation is fractional:
+     max 3a + 2b s.t. 2a + 2b <= 3 (binary): LP gives a=1, b=0.5 (4);
+     ILP must give a=1, b=0 (3) *)
+  let base =
+    Lp.
+      {
+        n_vars = 2;
+        maximize = true;
+        objective = [| 3.; 2. |];
+        constraints = [| c [| 2.; 2. |] Le 3. |];
+      }
+  in
+  let sol = Option.get (Ilp.solve { Ilp.base; binary = [| true; true |] }) in
+  check_float "objective 3" 3. sol.Ilp.objective_value;
+  check_float "a" 1. sol.Ilp.x.(0);
+  check_float "b" 0. sol.Ilp.x.(1)
+
+let test_ilp_vertex_cover_triangle () =
+  (* integral vertex cover of a triangle costs 2 (LP said 1.5) *)
+  let base =
+    Lp.
+      {
+        n_vars = 3;
+        maximize = false;
+        objective = [| 1.; 1.; 1. |];
+        constraints =
+          [|
+            c [| 1.; 1.; 0. |] Ge 1.;
+            c [| 0.; 1.; 1. |] Ge 1.;
+            c [| 1.; 0.; 1. |] Ge 1.;
+          |];
+      }
+  in
+  let sol =
+    Option.get (Ilp.solve { Ilp.base; binary = [| true; true; true |] })
+  in
+  check_float "cover size 2" 2. sol.Ilp.objective_value
+
+let test_ilp_mixed_continuous () =
+  (* min z s.t. z >= 3a, z >= 3b, a + b >= 1 (a,b binary, z continuous):
+     one of a,b is 1 -> z = 3 *)
+  let base =
+    Lp.
+      {
+        n_vars = 3;
+        maximize = false;
+        objective = [| 0.; 0.; 1. |];
+        constraints =
+          [|
+            c [| 3.; 0.; -1. |] Le 0.;
+            c [| 0.; 3.; -1. |] Le 0.;
+            c [| 1.; 1.; 0. |] Ge 1.;
+          |];
+      }
+  in
+  let sol =
+    Option.get (Ilp.solve { Ilp.base; binary = [| true; true; false |] })
+  in
+  check_float "z = 3" 3. sol.Ilp.objective_value
+
+let test_ilp_initial_bound_prunes () =
+  (* with initial_bound equal to the optimum, nothing strictly better
+     exists and the solver reports None *)
+  let base =
+    Lp.
+      {
+        n_vars = 2;
+        maximize = true;
+        objective = [| 1.; 1. |];
+        constraints = [| c [| 1.; 1. |] Le 1. |];
+      }
+  in
+  let t = { Ilp.base; binary = [| true; true |] } in
+  Alcotest.(check bool) "pruned to None" true
+    (Ilp.solve ~initial_bound:1.0 ~integral_objective:true t = None);
+  let sol = Option.get (Ilp.solve ~initial_bound:0.5 t) in
+  check_float "still finds 1" 1. sol.Ilp.objective_value
+
+let test_ilp_node_limit_truncation () =
+  (* a 12-var knapsack with node_limit 1: whatever comes back must admit
+     it is unproven *)
+  let n = 12 in
+  let base =
+    Lp.
+      {
+        n_vars = n;
+        maximize = true;
+        objective = Array.init n (fun i -> float_of_int (i + 1));
+        constraints = [| c (Array.make n 1.) Le 3.5 |];
+      }
+  in
+  match Ilp.solve ~node_limit:1 { Ilp.base; binary = Array.make n true } with
+  | None -> ()
+  | Some sol -> Alcotest.(check bool) "not proved" false sol.Ilp.proved_optimal
+
+let test_lp_no_constraints () =
+  (* empty constraint set: maximize a positive objective is unbounded,
+     a non-positive one is optimal at the origin *)
+  let p obj =
+    Lp.{ n_vars = 1; maximize = true; objective = [| obj |]; constraints = [||] }
+  in
+  (match Lp.solve (p 1.) with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded");
+  match Lp.solve (p (-1.)) with
+  | Lp.Optimal s -> check_float "origin" 0. s.Lp.objective_value
+  | _ -> Alcotest.fail "expected optimal at origin"
+
+let test_ilp_infeasible () =
+  let base =
+    Lp.
+      {
+        n_vars = 1;
+        maximize = true;
+        objective = [| 1. |];
+        constraints = [| c [| 1. |] Ge 2.; c [| 1. |] Le 1. |];
+      }
+  in
+  Alcotest.(check bool) "no solution" true
+    (Ilp.solve { Ilp.base; binary = [| true |] } = None)
+
+(* random 0/1 knapsack-like ILPs vs exhaustive enumeration *)
+let gen_ilp =
+  QCheck.Gen.(
+    let* n = int_range 1 8 in
+    let* maximize = bool in
+    let* objective = array_repeat n (float_range (-2.) 5.) in
+    let* weights = array_repeat n (float_range 0.1 3.) in
+    let* cap = float_range 0.5 6. in
+    (* for minimization, add a >= row so the zero vector is not trivially
+       optimal: sum x >= 1 whenever some x exists *)
+    let cons =
+      if maximize then [| c weights Lp.Le cap |]
+      else [| c weights Lp.Le cap; c (Array.make n 1.) Lp.Ge 1. |]
+    in
+    return
+      Lp.{ n_vars = n; maximize; objective; constraints = cons })
+
+let exhaustive_best (p : Lp.problem) =
+  let n = p.Lp.n_vars in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = Array.init n (fun i -> if mask land (1 lsl i) <> 0 then 1. else 0.) in
+    if feasible_point p x then begin
+      let v = ref 0. in
+      Array.iteri (fun i o -> v := !v +. (o *. x.(i))) p.Lp.objective;
+      match !best with
+      | None -> best := Some !v
+      | Some b ->
+          if (p.Lp.maximize && !v > b) || ((not p.Lp.maximize) && !v < b) then
+            best := Some !v
+    end
+  done;
+  !best
+
+let prop_ilp_matches_exhaustive =
+  QCheck.Test.make ~name:"ILP = exhaustive enumeration on random knapsacks"
+    ~count:120 (QCheck.make gen_ilp) (fun base ->
+      let t = { Ilp.base; binary = Array.make base.Lp.n_vars true } in
+      match (Ilp.solve t, exhaustive_best base) with
+      | None, None -> true
+      | Some sol, Some b -> feq ~eps:1e-5 sol.Ilp.objective_value b
+      | Some _, None | None, Some _ -> false)
+
+let prop_lp_relaxation_bounds_ilp =
+  QCheck.Test.make
+    ~name:"LP relaxation bounds the ILP optimum from the right side"
+    ~count:100 (QCheck.make gen_ilp) (fun base ->
+      let t = { Ilp.base; binary = Array.make base.Lp.n_vars true } in
+      match (Lp.solve base, Ilp.solve t) with
+      | Lp.Optimal lp, Some ilp ->
+          if base.Lp.maximize then
+            lp.Lp.objective_value >= ilp.Ilp.objective_value -. 1e-5
+          else lp.Lp.objective_value <= ilp.Ilp.objective_value +. 1e-5
+      | Lp.Infeasible, None -> true
+      | Lp.Optimal _, None -> true (* fractional-feasible, 0/1-infeasible *)
+      | _ -> false)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_lp_solution_feasible;
+      prop_lp_beats_random_feasible_points;
+      prop_ilp_matches_exhaustive;
+      prop_lp_relaxation_bounds_ilp;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "lp_ilp"
+    [
+      ( "lp",
+        [
+          tc "textbook max" test_lp_textbook_max;
+          tc "minimization with >=" test_lp_minimization_with_ge;
+          tc "equality" test_lp_equality;
+          tc "infeasible" test_lp_infeasible;
+          tc "unbounded" test_lp_unbounded;
+          tc "negative rhs" test_lp_negative_rhs_normalization;
+          tc "degenerate" test_lp_degenerate;
+          tc "fractional relaxation" test_lp_fractional_relaxation_value;
+        ] );
+      ( "ilp",
+        [
+          tc "knapsack" test_ilp_knapsack;
+          tc "fractional gap" test_ilp_fractional_gap;
+          tc "vertex cover triangle" test_ilp_vertex_cover_triangle;
+          tc "mixed continuous" test_ilp_mixed_continuous;
+          tc "initial bound prunes" test_ilp_initial_bound_prunes;
+          tc "node-limit truncation" test_ilp_node_limit_truncation;
+          tc "no constraints" test_lp_no_constraints;
+          tc "infeasible" test_ilp_infeasible;
+        ] );
+      ("properties", qcheck_cases);
+    ]

@@ -1,0 +1,795 @@
+(* Tests for the combinatorial substrate: bitsets, the lazy-greedy heap,
+   weighted set cover (greedy + exact), MCG, SCG, subset sum and makespan
+   scheduling, including approximation-bound properties against the exact
+   solvers on random small instances. *)
+
+open Optkit
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 99;
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check bool) "mem 63" true (Bitset.mem s 63);
+  Alcotest.(check bool) "not mem 64" false (Bitset.mem s 64);
+  Bitset.remove s 63;
+  Alcotest.(check (list int)) "to_list" [ 0; 99 ] (Bitset.to_list s)
+
+let test_bitset_word_boundaries () =
+  (* bits around the 62-bit word boundary *)
+  let s = Bitset.create 200 in
+  List.iter (Bitset.add s) [ 61; 62; 63; 123; 124; 125 ];
+  Alcotest.(check int) "cardinal" 6 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list" [ 61; 62; 63; 123; 124; 125 ]
+    (Bitset.to_list s)
+
+let test_bitset_set_ops () =
+  let a = Bitset.of_list 50 [ 1; 2; 3; 10 ] in
+  let b = Bitset.of_list 50 [ 2; 3; 4 ] in
+  Alcotest.(check (list int)) "inter" [ 2; 3 ] Bitset.(to_list (inter a b));
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 10 ]
+    Bitset.(to_list (union a b));
+  Alcotest.(check (list int)) "diff" [ 1; 10 ] Bitset.(to_list (diff a b));
+  Alcotest.(check int) "inter_cardinal" 2 (Bitset.inter_cardinal a b);
+  Alcotest.(check bool) "subset no" false (Bitset.subset a b);
+  Alcotest.(check bool) "subset yes" true
+    (Bitset.subset (Bitset.of_list 50 [ 2; 3 ]) b)
+
+let test_bitset_inplace () =
+  let a = Bitset.of_list 50 [ 1; 2; 3 ] in
+  Bitset.diff_inplace a (Bitset.of_list 50 [ 2 ]);
+  Alcotest.(check (list int)) "diff_inplace" [ 1; 3 ] (Bitset.to_list a);
+  Bitset.union_inplace a (Bitset.of_list 50 [ 7 ]);
+  Alcotest.(check (list int)) "union_inplace" [ 1; 3; 7 ] (Bitset.to_list a)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Bitset: index out of bounds") (fun () ->
+      Bitset.add s 10);
+  let t = Bitset.create 20 in
+  Alcotest.check_raises "capacity mismatch"
+    (Invalid_argument "Bitset: capacity mismatch") (fun () ->
+      ignore (Bitset.inter_cardinal s t))
+
+let test_bitset_first_inter () =
+  let a = Bitset.of_list 200 [ 150; 199 ] in
+  let b = Bitset.of_list 200 [ 10; 150 ] in
+  Alcotest.(check (option int)) "first" (Some 150) (Bitset.first_inter a b);
+  Alcotest.(check (option int)) "none" None
+    (Bitset.first_inter a (Bitset.of_list 200 [ 10 ]))
+
+let test_bitset_zero_capacity () =
+  let s = Bitset.create 0 in
+  Alcotest.(check int) "cardinal" 0 (Bitset.cardinal s);
+  Alcotest.(check bool) "empty" true (Bitset.is_empty s);
+  Alcotest.(check (list int)) "to_list" [] (Bitset.to_list s);
+  Alcotest.(check bool) "full of nothing" true
+    (Bitset.equal (Bitset.full 0) s)
+
+let test_bitset_fold_order () =
+  let s = Bitset.of_list 10 [ 7; 2; 5 ] in
+  Alcotest.(check (list int)) "ascending fold" [ 7; 5; 2 ]
+    (Bitset.fold (fun e acc -> e :: acc) s [])
+
+let prop_bitset_cardinal_matches_list =
+  QCheck.Test.make ~name:"bitset cardinal = list length" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 60) (int_range 0 199))
+    (fun l ->
+      let s = Bitset.of_list 200 l in
+      Bitset.cardinal s = List.length (List.sort_uniq compare l))
+
+let prop_bitset_inter_cardinal =
+  QCheck.Test.make ~name:"inter_cardinal = |inter as lists|" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 40) (int_range 0 150))
+        (list_of_size Gen.(int_range 0 40) (int_range 0 150)))
+    (fun (la, lb) ->
+      let a = Bitset.of_list 151 la and b = Bitset.of_list 151 lb in
+      let inter =
+        List.filter (fun x -> List.mem x lb) (List.sort_uniq compare la)
+      in
+      Bitset.inter_cardinal a b = List.length inter)
+
+(* ------------------------------------------------------------------ *)
+(* Lazy_heap                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_heap_pop_order () =
+  let h = Lazy_heap.of_list [ (1., "a"); (3., "c"); (2., "b") ] in
+  let revalidate _ = assert false in
+  (* fresh priorities: revalidate returns the stored priority *)
+  let reval v = match v with "a" -> 1. | "b" -> 2. | "c" -> 3. | _ -> 0. in
+  ignore revalidate;
+  Alcotest.(check (option (pair string (float 0.)))) "max c"
+    (Some ("c", 3.))
+    (Lazy_heap.pop_max h ~revalidate:reval);
+  Alcotest.(check (option (pair string (float 0.)))) "then b"
+    (Some ("b", 2.))
+    (Lazy_heap.pop_max h ~revalidate:reval);
+  Alcotest.(check (option (pair string (float 0.)))) "then a"
+    (Some ("a", 1.))
+    (Lazy_heap.pop_max h ~revalidate:reval);
+  Alcotest.(check bool) "empty" true
+    (Lazy_heap.pop_max h ~revalidate:reval = None)
+
+let test_heap_lazy_revalidation () =
+  (* stored priorities are stale; revalidation reorders correctly *)
+  let h = Lazy_heap.of_list [ (10., "x"); (9., "y") ] in
+  let fresh = function "x" -> 1. | "y" -> 8. | _ -> 0. in
+  Alcotest.(check (option (pair string (float 0.)))) "y wins after decay"
+    (Some ("y", 8.))
+    (Lazy_heap.pop_max h ~revalidate:fresh)
+
+let test_heap_drops_dead_entries () =
+  let h = Lazy_heap.of_list [ (5., "dead"); (1., "alive") ] in
+  let fresh = function "dead" -> neg_infinity | _ -> 1. in
+  Alcotest.(check (option (pair string (float 0.)))) "alive survives"
+    (Some ("alive", 1.))
+    (Lazy_heap.pop_max h ~revalidate:fresh);
+  Alcotest.(check bool) "dead dropped" true
+    (Lazy_heap.pop_max h ~revalidate:fresh = None)
+
+let test_heap_peek_keeps () =
+  let h = Lazy_heap.of_list [ (2., "a") ] in
+  let fresh _ = 2. in
+  ignore (Lazy_heap.peek_max h ~revalidate:fresh);
+  Alcotest.(check int) "still there" 1 (Lazy_heap.length h)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap with fresh priorities sorts descending"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0. 100.))
+    (fun floats ->
+      let h = Lazy_heap.create () in
+      List.iteri (fun i x -> Lazy_heap.push h ~prio:x i) floats;
+      let arr = Array.of_list floats in
+      let out = ref [] in
+      let rec drain () =
+        match Lazy_heap.pop_max h ~revalidate:(fun i -> arr.(i)) with
+        | None -> ()
+        | Some (_, p) ->
+            out := p :: !out;
+            drain ()
+      in
+      drain ();
+      let sorted = List.sort compare floats in
+      List.for_all2 (fun a b -> feq a b) sorted !out)
+
+(* ------------------------------------------------------------------ *)
+(* Set cover                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let mk_cover ~n sets_costs =
+  let sets = Array.of_list (List.map (fun (s, _) -> Bitset.of_list n s) sets_costs) in
+  let costs = Array.of_list (List.map snd sets_costs) in
+  let payload = Array.init (Array.length sets) Fun.id in
+  Cover_instance.make ~n_elements:n ~sets ~costs ~payload ()
+
+let test_greedy_cover_simple () =
+  (* classic: one big cheap set beats many small ones *)
+  let inst =
+    mk_cover ~n:4
+      [ ([ 0; 1; 2; 3 ], 2.); ([ 0 ], 1.); ([ 1 ], 1.); ([ 2; 3 ], 1.) ]
+  in
+  let r = Set_cover.greedy inst in
+  Alcotest.(check int) "one set" 1 (List.length r.Set_cover.chosen);
+  Alcotest.(check bool) "covered all" true (Bitset.is_empty r.uncovered);
+  Alcotest.(check (float 1e-9)) "cost" 2. r.total_cost
+
+let test_greedy_cover_partial () =
+  let inst = mk_cover ~n:3 [ ([ 0 ], 1.) ] in
+  let r = Set_cover.greedy inst in
+  Alcotest.(check (list int)) "uncoverable left" [ 1; 2 ]
+    (Bitset.to_list r.Set_cover.uncovered)
+
+let test_greedy_cover_universe () =
+  (* restricting the universe ignores other elements *)
+  let inst = mk_cover ~n:4 [ ([ 0; 1 ], 1.); ([ 2 ], 5.) ] in
+  let universe = Bitset.of_list 4 [ 0; 1 ] in
+  let r = Set_cover.greedy ~universe inst in
+  Alcotest.(check bool) "covered" true (Bitset.is_empty r.Set_cover.uncovered);
+  Alcotest.(check (float 1e-9)) "only cheap set" 1. r.total_cost
+
+let test_exact_cover_beats_greedy_trap () =
+  (* a greedy trap: the best ratio ({0,1} at 2.0) leads greedy to a total
+     of 1.9, but the whole-universe set costs only 1.6 *)
+  let inst =
+    mk_cover ~n:3
+      [
+        ([ 0; 1 ], 1.0);
+        ([ 1; 2 ], 1.0);
+        ([ 0; 1; 2 ], 1.6);
+        ([ 2 ], 0.9);
+        ([ 0 ], 0.9);
+      ]
+  in
+  let g = Set_cover.greedy inst in
+  let e = Option.get (Set_cover.exact inst) in
+  Alcotest.(check (float 1e-9)) "exact 1.6" 1.6 e.Set_cover.cost;
+  Alcotest.(check (float 1e-9)) "greedy 1.9" 1.9 g.total_cost;
+  Alcotest.(check bool) "proved" true e.proved_optimal
+
+let test_exact_cover_truncation () =
+  (* node_limit 1 on the greedy-trap instance: the search must be cut off
+     before it can prove anything, keeping the greedy incumbent *)
+  let inst =
+    mk_cover ~n:3
+      [ ([ 0; 1 ], 1.0); ([ 1; 2 ], 1.0); ([ 0; 1; 2 ], 1.6); ([ 2 ], 0.9);
+        ([ 0 ], 0.9) ]
+  in
+  match Set_cover.exact ~node_limit:1 inst with
+  | None -> Alcotest.fail "coverable instance"
+  | Some r ->
+      Alcotest.(check bool) "not proved" false r.Set_cover.proved_optimal;
+      (* the incumbent is still a valid cover (the greedy one, cost 1.9) *)
+      let covered = Bitset.create 3 in
+      List.iter
+        (fun j -> Bitset.union_inplace covered (Cover_instance.set inst j))
+        r.Set_cover.sets;
+      Alcotest.(check int) "covers" 3 (Bitset.cardinal covered)
+
+let test_exact_cover_infeasible () =
+  let inst = mk_cover ~n:3 [ ([ 0 ], 1.) ] in
+  Alcotest.(check bool) "no cover" true (Set_cover.exact inst = None)
+
+let gen_cover_instance =
+  QCheck.Gen.(
+    let* n = int_range 1 10 in
+    let* m = int_range 1 8 in
+    let* sets =
+      list_repeat m
+        (let* members = list_size (int_range 1 n) (int_range 0 (n - 1)) in
+         let* cost = float_range 0.1 5. in
+         return (members, cost))
+    in
+    (* guarantee coverability with one universal set *)
+    let universal = (List.init n Fun.id, 6.) in
+    return (n, universal :: sets))
+
+let arb_cover =
+  QCheck.make
+    ~print:(fun (n, sets) ->
+      Fmt.str "n=%d sets=%a" n
+        Fmt.(list ~sep:semi (pair (Dump.list int) float))
+        sets)
+    gen_cover_instance
+
+let prop_greedy_within_ln_bound =
+  QCheck.Test.make ~name:"greedy cover within (ln n + 1) of exact" ~count:150
+    arb_cover (fun (n, sets) ->
+      let inst = mk_cover ~n sets in
+      let g = Set_cover.greedy inst in
+      let e = Option.get (Set_cover.exact inst) in
+      g.Set_cover.total_cost
+      <= (e.Set_cover.cost *. (log (float_of_int n) +. 1.)) +. 1e-9)
+
+let prop_exact_never_worse =
+  QCheck.Test.make ~name:"exact cover <= greedy cover" ~count:150 arb_cover
+    (fun (n, sets) ->
+      let inst = mk_cover ~n sets in
+      let g = Set_cover.greedy inst in
+      let e = Option.get (Set_cover.exact inst) in
+      e.Set_cover.cost <= g.Set_cover.total_cost +. 1e-9)
+
+let test_layered_simple () =
+  (* disjoint sets: layering must take them all, at exactly their cost *)
+  let inst = mk_cover ~n:4 [ ([ 0; 1 ], 1.); ([ 2; 3 ], 2.) ] in
+  let r = Set_cover.layered inst in
+  Alcotest.(check bool) "covers" true (Bitset.is_empty r.Set_cover.uncovered);
+  Alcotest.(check (float 1e-9)) "cost" 3. r.Set_cover.total_cost
+
+let test_max_frequency () =
+  let inst = mk_cover ~n:3 [ ([ 0; 1 ], 1.); ([ 1; 2 ], 1.); ([ 1 ], 1.) ] in
+  Alcotest.(check int) "element 1 in 3 sets" 3 (Set_cover.max_frequency inst)
+
+let test_lp_rounding_simple () =
+  let inst =
+    mk_cover ~n:4 [ ([ 0; 1 ], 1.); ([ 2; 3 ], 2.); ([ 0; 1; 2; 3 ], 10.) ]
+  in
+  match Set_cover.lp_rounding inst with
+  | None -> Alcotest.fail "LP failed"
+  | Some r ->
+      Alcotest.(check bool) "covers" true (Bitset.is_empty r.Set_cover.uncovered);
+      Alcotest.(check bool) "avoids the overpriced set" true
+        (r.Set_cover.total_cost <= 3. +. 1e-6)
+
+let prop_layered_is_f_approx =
+  QCheck.Test.make ~name:"layering within f of exact and covers everything"
+    ~count:150 arb_cover (fun (n, sets) ->
+      let inst = mk_cover ~n sets in
+      let f = Set_cover.max_frequency inst in
+      let l = Set_cover.layered inst in
+      let e = Option.get (Set_cover.exact inst) in
+      Bitset.is_empty l.Set_cover.uncovered
+      && l.Set_cover.total_cost
+         <= (float_of_int f *. e.Set_cover.cost) +. 1e-6)
+
+let prop_lp_rounding_is_f_approx =
+  QCheck.Test.make ~name:"LP rounding within f of exact and covers everything"
+    ~count:100 arb_cover (fun (n, sets) ->
+      let inst = mk_cover ~n sets in
+      let f = Set_cover.max_frequency inst in
+      match Set_cover.lp_rounding inst with
+      | None -> false
+      | Some r ->
+          let e = Option.get (Set_cover.exact inst) in
+          Bitset.is_empty r.Set_cover.uncovered
+          && r.Set_cover.total_cost
+             <= (float_of_int f *. e.Set_cover.cost) +. 1e-6)
+
+let prop_exact_is_cover =
+  QCheck.Test.make ~name:"exact result covers the universe" ~count:150
+    arb_cover (fun (n, sets) ->
+      let inst = mk_cover ~n sets in
+      let e = Option.get (Set_cover.exact inst) in
+      let covered = Bitset.create n in
+      List.iter
+        (fun j -> Bitset.union_inplace covered (Cover_instance.set inst j))
+        e.Set_cover.sets;
+      Bitset.cardinal covered = n)
+
+(* ------------------------------------------------------------------ *)
+(* MCG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let mk_grouped ~n sets_costs_groups =
+  let sets =
+    Array.of_list (List.map (fun (s, _, _) -> Bitset.of_list n s) sets_costs_groups)
+  in
+  let costs = Array.of_list (List.map (fun (_, c, _) -> c) sets_costs_groups) in
+  let group_of =
+    Array.of_list (List.map (fun (_, _, g) -> g) sets_costs_groups)
+  in
+  let payload = Array.init (Array.length sets) Fun.id in
+  Cover_instance.make ~n_elements:n ~sets ~costs ~group_of ~payload ()
+
+let test_mcg_respects_budgets () =
+  let inst =
+    mk_grouped ~n:4
+      [ ([ 0; 1 ], 0.6, 0); ([ 2 ], 0.6, 0); ([ 3 ], 0.5, 1) ]
+  in
+  let r = Mcg.greedy inst ~budgets:[| 1.0; 1.0 |] () in
+  Alcotest.(check bool) "within budgets" true
+    (Mcg.within_budgets r ~budgets:[| 1.0; 1.0 |]);
+  (* group 0 can afford only one of its sets after the split *)
+  Alcotest.(check bool) "coverage at least 2" true (Mcg.coverage r >= 2)
+
+let test_mcg_filters_oversized_sets () =
+  (* a set costing more than its group budget is never chosen *)
+  let inst = mk_grouped ~n:2 [ ([ 0; 1 ], 2.0, 0); ([ 0 ], 0.5, 0) ] in
+  let r = Mcg.greedy inst ~budgets:[| 1.0 |] () in
+  List.iter
+    (fun (s : Mcg.selection) ->
+      if s.set = 0 then Alcotest.fail "oversized set chosen")
+    r.Mcg.kept;
+  Alcotest.(check int) "covers 1" 1 (Mcg.coverage r)
+
+let test_mcg_split_keeps_larger_half () =
+  (* reproduce the paper's Fig. 2 trace at the MCG level: S4 kept, S2 (the
+     budget violator) dropped *)
+  let inst =
+    mk_grouped ~n:5
+      [
+        ([ 0; 2 ], 1.0, 0) (* S2: a1 s1 @3 *);
+        ([ 2 ], 0.75, 0) (* S3 *);
+        ([ 1; 3; 4 ], 0.75, 0) (* S4 *);
+        ([ 1 ], 0.5, 0) (* S1: a1 s2 @6 *);
+        ([ 2 ], 0.6, 1) (* S5 *);
+        ([ 3 ], 0.6, 1) (* S6 *);
+        ([ 3; 4 ], 1.0, 1) (* S7 *);
+      ]
+  in
+  let r = Mcg.greedy inst ~budgets:[| 1.0; 1.0 |] () in
+  Alcotest.(check int) "covers 3" 3 (Mcg.coverage r);
+  Alcotest.(check (list int)) "covered = {1,3,4}" [ 1; 3; 4 ]
+    (Bitset.to_list r.Mcg.covered)
+
+let gen_grouped_instance =
+  QCheck.Gen.(
+    let* n = int_range 1 10 in
+    let* n_groups = int_range 1 4 in
+    let* m = int_range 1 10 in
+    let* sets =
+      list_repeat m
+        (let* members = list_size (int_range 1 n) (int_range 0 (n - 1)) in
+         let* cost = float_range 0.1 1.0 in
+         let* g = int_range 0 (n_groups - 1) in
+         return (members, cost, g))
+    in
+    let* budget = float_range 0.5 2.0 in
+    return (n, n_groups, sets, budget))
+
+let arb_grouped = QCheck.make gen_grouped_instance
+
+let prop_mcg_budgets_hold =
+  QCheck.Test.make ~name:"MCG split solution within every group budget"
+    ~count:150 arb_grouped (fun (n, n_groups, sets, budget) ->
+      QCheck.assume (sets <> []);
+      let inst = mk_grouped ~n sets in
+      let budgets = Array.make (Cover_instance.n_groups inst) budget in
+      ignore n_groups;
+      let r = Mcg.greedy inst ~budgets () in
+      Mcg.within_budgets r ~budgets)
+
+let prop_mcg_attribution_disjoint =
+  QCheck.Test.make ~name:"MCG attributions are disjoint and match coverage"
+    ~count:150 arb_grouped (fun (n, _, sets, budget) ->
+      QCheck.assume (sets <> []);
+      let inst = mk_grouped ~n sets in
+      let budgets = Array.make (Cover_instance.n_groups inst) budget in
+      let r = Mcg.greedy inst ~budgets () in
+      let seen = Bitset.create n in
+      let disjoint = ref true in
+      List.iter
+        (fun (s : Mcg.selection) ->
+          if Bitset.inter_cardinal seen s.newly > 0 then disjoint := false;
+          Bitset.union_inplace seen s.newly)
+        r.Mcg.kept;
+      !disjoint && Bitset.equal seen r.Mcg.covered)
+
+(* MCG greedy (before split) is a 4-approximation; after split, 8. Verify
+   the 8 bound against brute force on tiny instances. *)
+let prop_mcg_8_approx =
+  QCheck.Test.make ~name:"MCG within 8x of brute-force optimum" ~count:80
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 1 6 in
+         let* m = int_range 1 6 in
+         let* sets =
+           list_repeat m
+             (let* members = list_size (int_range 1 n) (int_range 0 (n - 1)) in
+              let* cost = float_range 0.1 1.0 in
+              let* g = int_range 0 1 in
+              return (members, cost, g))
+         in
+         return (n, sets)))
+    (fun (n, sets) ->
+      QCheck.assume (sets <> []);
+      let inst = mk_grouped ~n sets in
+      let n_groups = Cover_instance.n_groups inst in
+      let budgets = Array.make n_groups 1.0 in
+      let r = Mcg.greedy inst ~budgets () in
+      (* brute force over all subsets of sets *)
+      let m = Cover_instance.n_sets inst in
+      let best = ref 0 in
+      for mask = 0 to (1 lsl m) - 1 do
+        let cost_per_group = Array.make n_groups 0. in
+        let covered = Bitset.create n in
+        for j = 0 to m - 1 do
+          if mask land (1 lsl j) <> 0 then begin
+            let g = Cover_instance.group inst j in
+            cost_per_group.(g) <- cost_per_group.(g) +. Cover_instance.cost inst j;
+            Bitset.union_inplace covered (Cover_instance.set inst j)
+          end
+        done;
+        if Array.for_all2 (fun c b -> c <= b +. 1e-9) cost_per_group budgets
+        then best := max !best (Bitset.cardinal covered)
+      done;
+      8 * Mcg.coverage r >= !best)
+
+(* weighted coverage: same 8x bound against the weighted brute force *)
+let prop_mcg_weighted_8_approx =
+  QCheck.Test.make ~name:"weighted MCG within 8x of brute-force optimum"
+    ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 1 6 in
+         let* m = int_range 1 6 in
+         let* sets =
+           list_repeat m
+             (let* members = list_size (int_range 1 n) (int_range 0 (n - 1)) in
+              let* cost = float_range 0.1 1.0 in
+              let* g = int_range 0 1 in
+              return (members, cost, g))
+         in
+         let* weights = array_repeat n (float_range 0. 3.) in
+         return (n, sets, weights)))
+    (fun (n, sets, weights) ->
+      QCheck.assume (sets <> []);
+      let inst = mk_grouped ~n sets in
+      let n_groups = Cover_instance.n_groups inst in
+      let budgets = Array.make n_groups 1.0 in
+      let r = Mcg.greedy ~element_weights:weights inst ~budgets () in
+      let weight_of set = Bitset.fold (fun e acc -> acc +. weights.(e)) set 0. in
+      let m = Cover_instance.n_sets inst in
+      let best = ref 0. in
+      for mask = 0 to (1 lsl m) - 1 do
+        let cost_per_group = Array.make n_groups 0. in
+        let covered = Bitset.create n in
+        for j = 0 to m - 1 do
+          if mask land (1 lsl j) <> 0 then begin
+            let g = Cover_instance.group inst j in
+            cost_per_group.(g) <-
+              cost_per_group.(g) +. Cover_instance.cost inst j;
+            Bitset.union_inplace covered (Cover_instance.set inst j)
+          end
+        done;
+        if Array.for_all2 (fun c b -> c <= b +. 1e-9) cost_per_group budgets
+        then best := Float.max !best (weight_of covered)
+      done;
+      (8. *. weight_of r.Mcg.covered) +. 1e-9 >= !best)
+
+let prop_mcg_exact_matches_brute_force =
+  QCheck.Test.make ~name:"exact MCG = brute force on tiny instances" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 1 6 in
+         let* m = int_range 1 7 in
+         let* sets =
+           list_repeat m
+             (let* members = list_size (int_range 1 n) (int_range 0 (n - 1)) in
+              let* cost = float_range 0.1 1.0 in
+              let* g = int_range 0 1 in
+              return (members, cost, g))
+         in
+         let* budget = float_range 0.3 1.5 in
+         return (n, sets, budget)))
+    (fun (n, sets, budget) ->
+      QCheck.assume (sets <> []);
+      let inst = mk_grouped ~n sets in
+      let n_groups = Cover_instance.n_groups inst in
+      let budgets = Array.make n_groups budget in
+      let e = Mcg.exact inst ~budgets () in
+      (* brute force *)
+      let m = Cover_instance.n_sets inst in
+      let best = ref 0 in
+      for mask = 0 to (1 lsl m) - 1 do
+        let cost_per_group = Array.make n_groups 0. in
+        let covered = Bitset.create n in
+        for j = 0 to m - 1 do
+          if mask land (1 lsl j) <> 0 then begin
+            let g = Cover_instance.group inst j in
+            cost_per_group.(g) <-
+              cost_per_group.(g) +. Cover_instance.cost inst j;
+            Bitset.union_inplace covered (Cover_instance.set inst j)
+          end
+        done;
+        if Array.for_all2 (fun c b -> c <= b +. 1e-9) cost_per_group budgets
+        then best := max !best (Bitset.cardinal covered)
+      done;
+      e.Mcg.proved_optimal
+      && int_of_float (e.Mcg.coverage_weight +. 0.5) = !best)
+
+let prop_greedy_mcg_within_8_of_exact =
+  QCheck.Test.make ~name:"greedy MCG within 8x of exact MCG" ~count:100
+    arb_grouped (fun (n, _, sets, budget) ->
+      QCheck.assume (sets <> []);
+      QCheck.assume (List.length sets <= 10);
+      let inst = mk_grouped ~n sets in
+      let budgets = Array.make (Cover_instance.n_groups inst) budget in
+      let g = Mcg.greedy inst ~budgets () in
+      let e = Mcg.exact inst ~budgets () in
+      float_of_int (8 * Mcg.coverage g) +. 1e-9 >= e.Mcg.coverage_weight)
+
+let test_mcg_weighted_validation () =
+  let inst = mk_grouped ~n:2 [ ([ 0; 1 ], 0.5, 0) ] in
+  (try
+     ignore
+       (Mcg.greedy ~element_weights:[| 1. |] inst ~budgets:[| 1. |] ());
+     Alcotest.fail "expected arity failure"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Mcg.greedy ~element_weights:[| 1.; -1. |] inst ~budgets:[| 1. |] ());
+    Alcotest.fail "expected negativity failure"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* SCG                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_scg_feasible_run () =
+  let inst =
+    mk_grouped ~n:4
+      [ ([ 0; 1 ], 0.4, 0); ([ 2 ], 0.3, 0); ([ 3 ], 0.3, 1) ]
+  in
+  match Scg.solve inst () with
+  | None -> Alcotest.fail "expected feasible"
+  | Some r ->
+      Alcotest.(check bool) "feasible" true r.Scg.feasible;
+      let covered = Bitset.create 4 in
+      List.iter
+        (fun (s : Mcg.selection) -> Bitset.union_inplace covered s.newly)
+        (Scg.selections r);
+      Alcotest.(check int) "all covered" 4 (Bitset.cardinal covered)
+
+let test_scg_infeasible () =
+  (* element 1 in no set: infeasible when the universe demands it,
+     feasible when the universe defaults to the coverable elements *)
+  let inst = mk_grouped ~n:2 [ ([ 0 ], 0.4, 0) ] in
+  let r = Scg.solve_for inst ~bstar:1.0 ~universe:(Bitset.full 2) () in
+  Alcotest.(check bool) "explicit universe infeasible" false r.Scg.feasible;
+  let r = Scg.solve_for inst ~bstar:1.0 () in
+  Alcotest.(check bool) "default universe feasible" true r.Scg.feasible
+
+let test_scg_max_rounds_bound () =
+  Alcotest.(check int) "log_{8/7} 100 + 1" 36 (Scg.max_rounds_for 100);
+  Alcotest.(check int) "n=1" 1 (Scg.max_rounds_for 1)
+
+let prop_scg_selections_disjoint_and_cover =
+  QCheck.Test.make ~name:"SCG rounds attribute disjointly" ~count:100
+    arb_grouped (fun (n, _, sets, _) ->
+      QCheck.assume (sets <> []);
+      (* add a universal set so the instance is coverable *)
+      let sets = (List.init n Fun.id, 1.0, 0) :: sets in
+      let inst = mk_grouped ~n sets in
+      match Scg.solve inst () with
+      | None -> QCheck.assume_fail ()
+      | Some r ->
+          let seen = Bitset.create n in
+          let disjoint = ref true in
+          List.iter
+            (fun (s : Mcg.selection) ->
+              if Bitset.inter_cardinal seen s.newly > 0 then disjoint := false;
+              Bitset.union_inplace seen s.newly)
+            (Scg.selections r);
+          !disjoint && (not r.Scg.feasible) || Bitset.cardinal seen = n)
+
+(* ------------------------------------------------------------------ *)
+(* Subset sum / makespan                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_subset_sum_hit () =
+  match Subset_sum.solve [ 3; 34; 4; 12; 5; 2 ] 9 with
+  | None -> Alcotest.fail "expected solution"
+  | Some idxs ->
+      let nums = [| 3; 34; 4; 12; 5; 2 |] in
+      let total = List.fold_left (fun acc i -> acc + nums.(i)) 0 idxs in
+      Alcotest.(check int) "sums to target" 9 total
+
+let test_subset_sum_miss () =
+  Alcotest.(check bool) "no subset" true
+    (Subset_sum.solve [ 2; 4; 6 ] 5 = None);
+  Alcotest.(check bool) "negative target" true (Subset_sum.solve [ 1 ] (-1) = None)
+
+let test_subset_sum_best_at_most () =
+  Alcotest.(check int) "best <= 11" 11
+    (Subset_sum.best_at_most [ 3; 34; 4; 12; 5; 2 ] 11);
+  Alcotest.(check int) "best <= 1" 0 (Subset_sum.best_at_most [ 2; 4 ] 1);
+  Alcotest.(check int) "empty" 0 (Subset_sum.best_at_most [] 10)
+
+let prop_subset_sum_dp_sound =
+  QCheck.Test.make ~name:"subset-sum witness sums to target" ~count:200
+    QCheck.(
+      pair (list_of_size Gen.(int_range 0 10) (int_range 0 20)) (int_range 0 60))
+    (fun (nums, target) ->
+      match Subset_sum.solve nums target with
+      | None -> true
+      | Some idxs ->
+          let arr = Array.of_list nums in
+          List.fold_left (fun acc i -> acc + arr.(i)) 0 idxs = target)
+
+let test_makespan_lpt () =
+  (* {3,3,2,2,2} on 2 machines: LPT lands on 7, the optimum is 6 *)
+  let s = Makespan.lpt ~machines:2 ~jobs:[ 3.; 3.; 2.; 2.; 2. ] in
+  Alcotest.(check (float 1e-9)) "lpt makespan" 7. s.Makespan.makespan
+
+let test_makespan_exact_simple () =
+  (* {3,3,2,2,2} on 2 machines: optimal 6 = {3,3} vs {2,2,2} *)
+  let s = Makespan.exact ~machines:2 ~jobs:[ 3.; 3.; 2.; 2.; 2. ] in
+  Alcotest.(check (float 1e-9)) "optimal" 6. s.Makespan.makespan
+
+let test_makespan_exact_beats_lpt () =
+  (* classic LPT-suboptimal instance: jobs {5,5,4,4,3,3,3} on 3 machines
+     LPT gives 10? optimal is 9 *)
+  let jobs = [ 5.; 5.; 4.; 4.; 3.; 3.; 3. ] in
+  let e = Makespan.exact ~machines:3 ~jobs in
+  Alcotest.(check (float 1e-9)) "optimal 9" 9. e.Makespan.makespan
+
+let prop_makespan_exact_le_lpt =
+  QCheck.Test.make ~name:"exact makespan <= LPT makespan" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8) (float_range 0.5 10.))
+        (int_range 1 4))
+    (fun (jobs, machines) ->
+      let l = Makespan.lpt ~machines ~jobs in
+      let e = Makespan.exact ~machines ~jobs in
+      e.Makespan.makespan <= l.Makespan.makespan +. 1e-9)
+
+let prop_lpt_within_4_3 =
+  QCheck.Test.make ~name:"LPT within 4/3 of optimal" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 8) (float_range 0.5 10.))
+        (int_range 1 4))
+    (fun (jobs, machines) ->
+      let l = Makespan.lpt ~machines ~jobs in
+      let e = Makespan.exact ~machines ~jobs in
+      l.Makespan.makespan
+      <= (e.Makespan.makespan *. ((4. /. 3.) +. 1e-9)) +. 1e-9)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_bitset_cardinal_matches_list;
+      prop_bitset_inter_cardinal;
+      prop_heap_sorts;
+      prop_greedy_within_ln_bound;
+      prop_exact_never_worse;
+      prop_exact_is_cover;
+      prop_layered_is_f_approx;
+      prop_lp_rounding_is_f_approx;
+      prop_mcg_budgets_hold;
+      prop_mcg_attribution_disjoint;
+      prop_mcg_8_approx;
+      prop_mcg_weighted_8_approx;
+      prop_mcg_exact_matches_brute_force;
+      prop_greedy_mcg_within_8_of_exact;
+      prop_scg_selections_disjoint_and_cover;
+      prop_subset_sum_dp_sound;
+      prop_makespan_exact_le_lpt;
+      prop_lpt_within_4_3;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "optkit"
+    [
+      ( "bitset",
+        [
+          tc "basic" test_bitset_basic;
+          tc "zero capacity" test_bitset_zero_capacity;
+          tc "fold order" test_bitset_fold_order;
+          tc "word boundaries" test_bitset_word_boundaries;
+          tc "set ops" test_bitset_set_ops;
+          tc "in-place ops" test_bitset_inplace;
+          tc "bounds checks" test_bitset_bounds;
+          tc "first_inter" test_bitset_first_inter;
+        ] );
+      ( "lazy_heap",
+        [
+          tc "pop order" test_heap_pop_order;
+          tc "lazy revalidation" test_heap_lazy_revalidation;
+          tc "drops dead entries" test_heap_drops_dead_entries;
+          tc "peek keeps" test_heap_peek_keeps;
+        ] );
+      ( "set_cover",
+        [
+          tc "greedy simple" test_greedy_cover_simple;
+          tc "greedy partial" test_greedy_cover_partial;
+          tc "greedy universe" test_greedy_cover_universe;
+          tc "exact beats greedy trap" test_exact_cover_beats_greedy_trap;
+          tc "exact infeasible" test_exact_cover_infeasible;
+          tc "exact truncation" test_exact_cover_truncation;
+          tc "layered simple" test_layered_simple;
+          tc "max frequency" test_max_frequency;
+          tc "lp rounding simple" test_lp_rounding_simple;
+        ] );
+      ( "mcg",
+        [
+          tc "respects budgets" test_mcg_respects_budgets;
+          tc "filters oversized sets" test_mcg_filters_oversized_sets;
+          tc "split keeps larger half" test_mcg_split_keeps_larger_half;
+          tc "weighted validation" test_mcg_weighted_validation;
+        ] );
+      ( "scg",
+        [
+          tc "feasible run" test_scg_feasible_run;
+          tc "infeasible" test_scg_infeasible;
+          tc "round bound" test_scg_max_rounds_bound;
+        ] );
+      ( "subset_sum",
+        [
+          tc "hit" test_subset_sum_hit;
+          tc "miss" test_subset_sum_miss;
+          tc "best at most" test_subset_sum_best_at_most;
+        ] );
+      ( "makespan",
+        [
+          tc "lpt" test_makespan_lpt;
+          tc "exact simple" test_makespan_exact_simple;
+          tc "exact beats lpt" test_makespan_exact_beats_lpt;
+        ] );
+      ("properties", qcheck_cases);
+    ]

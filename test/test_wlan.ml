@@ -1,0 +1,678 @@
+(* Tests for the wlan_model library: geometry, rate adaptation (Table 1),
+   problem instances, associations and multicast-load accounting. *)
+
+open Wlan_model
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let check_float ?eps msg expected actual =
+  if not (feq ?eps expected actual) then
+    Alcotest.failf "%s: expected %.12g, got %.12g" msg expected actual
+
+(* ------------------------------------------------------------------ *)
+(* Point                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_point_dist () =
+  check_float "3-4-5 triangle" 5. (Point.dist (Point.v 0. 0.) (Point.v 3. 4.));
+  check_float "self distance" 0. (Point.dist (Point.v 1. 2.) (Point.v 1. 2.));
+  Alcotest.(check bool) "within true" true
+    (Point.within 5. (Point.v 0. 0.) (Point.v 3. 4.));
+  Alcotest.(check bool) "within false" false
+    (Point.within 4.99 (Point.v 0. 0.) (Point.v 3. 4.))
+
+let test_point_dist_symmetric () =
+  let a = Point.v 10. 20. and b = Point.v 33. 7. in
+  check_float "symmetry" (Point.dist a b) (Point.dist b a)
+
+let test_point_random_in_bounds () =
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 100 do
+    let p = Point.random ~rng ~w:100. ~h:50. in
+    if p.Point.x < 0. || p.Point.x > 100. || p.Point.y < 0. || p.Point.y > 50.
+    then Alcotest.fail "random point out of bounds"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Rate_table                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_thresholds () =
+  (* the paper's Table 1, one check per column *)
+  let expect d rate =
+    match Rate_table.rate_at_distance Rate_table.default d with
+    | Some r -> check_float (Fmt.str "rate at %gm" d) rate r
+    | None -> Alcotest.failf "no rate at %gm" d
+  in
+  expect 35. 54.;
+  expect 40. 48.;
+  expect 60. 36.;
+  expect 85. 24.;
+  expect 105. 18.;
+  expect 145. 12.;
+  expect 200. 6.;
+  (* strictly between thresholds *)
+  expect 36. 48.;
+  expect 100. 18.;
+  expect 150. 6.;
+  expect 0. 54.
+
+let test_table1_out_of_range () =
+  Alcotest.(check (option (float 0.))) "beyond 200m" None
+    (Rate_table.rate_at_distance Rate_table.default 200.1)
+
+let test_rate_monotone_in_distance () =
+  (* rate never increases with distance *)
+  let prev = ref infinity in
+  let d = ref 0. in
+  while !d <= 210. do
+    (match Rate_table.rate_at_distance Rate_table.default !d with
+    | Some r ->
+        if r > !prev then Alcotest.fail "rate increased with distance";
+        prev := r
+    | None -> prev := 0.);
+    d := !d +. 0.5
+  done
+
+let test_basic_rate_and_range () =
+  check_float "basic rate" 6. (Rate_table.basic_rate Rate_table.default);
+  check_float "range" 200. (Rate_table.range Rate_table.default)
+
+let test_basic_only () =
+  let t = Rate_table.basic_only Rate_table.default in
+  Alcotest.(check int) "one entry" 1 (List.length (Rate_table.entries t));
+  check_float "basic rate at close range"
+    6.
+    (Option.get (Rate_table.rate_at_distance t 10.));
+  check_float "same range" 200. (Rate_table.range t)
+
+let test_scale_thresholds () =
+  let t = Rate_table.scale_thresholds 0.5 Rate_table.default in
+  check_float "halved range" 100. (Rate_table.range t);
+  (* 54 Mbps region shrinks from 35m to 17.5m *)
+  Alcotest.(check (option (float 1e-9))) "54 at 17.5" (Some 54.)
+    (Rate_table.rate_at_distance t 17.5);
+  Alcotest.(check (option (float 1e-9))) "48 at 18" (Some 48.)
+    (Rate_table.rate_at_distance t 18.)
+
+let test_make_rejects_unsorted () =
+  Alcotest.check_raises "unsorted rates"
+    (Invalid_argument "Rate_table.make: rates must be strictly decreasing")
+    (fun () ->
+      ignore
+        (Rate_table.make
+           [
+             { Rate_table.rate_mbps = 6.; threshold_m = 200. };
+             { Rate_table.rate_mbps = 12.; threshold_m = 145. };
+           ]))
+
+(* ------------------------------------------------------------------ *)
+(* Session                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_session_make () =
+  let s = Session.make ~id:3 ~rate_mbps:1.5 in
+  Alcotest.(check int) "id" 3 (Session.id s);
+  check_float "rate" 1.5 (Session.rate_mbps s);
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Session.make: rate must be positive") (fun () ->
+      ignore (Session.make ~id:0 ~rate_mbps:0.))
+
+let test_session_uniform () =
+  let ss = Session.uniform ~n:5 ~rate_mbps:2. in
+  Alcotest.(check int) "count" 5 (Array.length ss);
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check int) "ids are indices" i (Session.id s);
+      check_float "uniform rate" 2. (Session.rate_mbps s))
+    ss
+
+(* ------------------------------------------------------------------ *)
+(* Problem                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 = Examples.fig1 ~session_rate_mbps:3.
+
+let test_problem_dims () =
+  let n_aps, n_users = Problem.dims fig1 in
+  Alcotest.(check int) "aps" 2 n_aps;
+  Alcotest.(check int) "users" 5 n_users;
+  Alcotest.(check int) "sessions" 2 (Problem.n_sessions fig1)
+
+let test_problem_neighbors () =
+  Alcotest.(check (list int)) "u1 neighbors" [ 0 ] (Problem.neighbor_aps fig1 0);
+  Alcotest.(check (list int)) "u3 neighbors" [ 0; 1 ]
+    (Problem.neighbor_aps fig1 2);
+  Alcotest.(check (list int)) "all coverable" [ 0; 1; 2; 3; 4 ]
+    (Problem.coverable_users fig1)
+
+let test_problem_strongest_ap () =
+  (* default signal = link rate: u3 has rate 5 from a2 vs 4 from a1 *)
+  Alcotest.(check (option int)) "u3 strongest" (Some 1)
+    (Problem.strongest_ap fig1 2);
+  (* u5: 4 from a1 vs 3 from a2 *)
+  Alcotest.(check (option int)) "u5 strongest" (Some 0)
+    (Problem.strongest_ap fig1 4);
+  Alcotest.(check (option int)) "u1 strongest" (Some 0)
+    (Problem.strongest_ap fig1 0)
+
+let test_problem_no_neighbor () =
+  let p =
+    Problem.make ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
+      ~rates:[| [| 1.; 0. |] |] ~budget:1. ()
+  in
+  Alcotest.(check (option int)) "isolated user" None (Problem.strongest_ap p 1);
+  Alcotest.(check (list int)) "coverable" [ 0 ] (Problem.coverable_users p)
+
+let test_problem_receivers () =
+  (* users of s2 reachable from a1 at >= 4 Mbps: u2 (6), u4 (4), u5 (4) *)
+  Alcotest.(check (list int)) "receivers a1 s2 @4" [ 1; 3; 4 ]
+    (Problem.receivers fig1 ~ap:0 ~session:1 ~min_rate:4.);
+  Alcotest.(check (list int)) "receivers a1 s2 @6" [ 1 ]
+    (Problem.receivers fig1 ~ap:0 ~session:1 ~min_rate:6.)
+
+let test_problem_distinct_rates () =
+  Alcotest.(check (list (float 1e-9))) "distinct rates, desc"
+    [ 6.; 5.; 4.; 3. ]
+    (Problem.distinct_rates fig1)
+
+let test_problem_basic_rate_restriction () =
+  let p = Problem.restrict_to_basic_rate fig1 in
+  Alcotest.(check (list (float 1e-9))) "one rate" [ 3. ]
+    (Problem.distinct_rates p);
+  (* reachability unchanged *)
+  Alcotest.(check (list int)) "u3 still reaches both" [ 0; 1 ]
+    (Problem.neighbor_aps p 2)
+
+let test_problem_validate_rejects () =
+  let bad () =
+    ignore
+      (Problem.make ~session_rates:[| 1. |] ~user_session:[| 1 |]
+         ~rates:[| [| 1. |] |] ~budget:1. ())
+  in
+  (try
+     bad ();
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  let bad_rate () =
+    ignore
+      (Problem.make ~session_rates:[| -1. |] ~user_session:[| 0 |]
+         ~rates:[| [| 1. |] |] ~budget:1. ())
+  in
+  try
+    bad_rate ();
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Association & Loads                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_association_basic () =
+  let a = Association.empty ~n_users:3 in
+  Alcotest.(check int) "served 0" 0 (Association.served_count a);
+  Association.serve a ~user:1 ~ap:7;
+  Alcotest.(check int) "served 1" 1 (Association.served_count a);
+  Alcotest.(check (option int)) "ap_of" (Some 7) (Association.ap_of a 1);
+  Alcotest.(check (option int)) "unserved" None (Association.ap_of a 0);
+  Alcotest.(check (list int)) "unserved users" [ 0; 2 ]
+    (Association.unserved_users a);
+  Association.unserve a ~user:1;
+  Alcotest.(check int) "served 0 again" 0 (Association.served_count a)
+
+let test_association_users_of () =
+  let a : Association.t = [| 0; 1; 0; -1; 0 |] in
+  Alcotest.(check (list int)) "users of 0" [ 0; 2; 4 ]
+    (Association.users_of a ~ap:0);
+  Alcotest.(check (list int)) "users of 1" [ 1 ] (Association.users_of a ~ap:1)
+
+(* Loads on the Figure 1 example with 3 Mbps sessions: the paper's MNU
+   walk-through numbers. *)
+let test_loads_fig1_mnu_example () =
+  (* u2, u4, u5 -> a1 ; u3 -> a2: a1 load 3/4, a2 load 3/5 *)
+  let assoc : Association.t = [| -1; 0; 1; 0; 0 |] in
+  let loads = Loads.ap_loads fig1 assoc in
+  check_float "a1 load" (3. /. 4.) loads.(0);
+  check_float "a2 load" (3. /. 5.) loads.(1);
+  check_float "total" ((3. /. 4.) +. (3. /. 5.)) (Loads.total_load fig1 assoc);
+  check_float "max" (3. /. 4.) (Loads.max_load fig1 assoc)
+
+let test_loads_infeasible_pair () =
+  (* the paper: u1 and u2 both on a1 gives 3/3 + 3/6 = 1.5 > 1 *)
+  let assoc : Association.t = [| 0; 0; -1; -1; -1 |] in
+  check_float "overload" 1.5 (Loads.ap_load fig1 assoc ~ap:0);
+  Alcotest.(check bool) "violates budget" false
+    (Loads.respects_budget fig1 assoc)
+
+let fig1_bla = Examples.fig1 ~session_rate_mbps:1.
+
+let test_loads_fig1_bla_example () =
+  (* u1,u2,u3 -> a1; u4,u5 -> a2: loads 1/2 and 1/3 (paper §3.2) *)
+  let assoc : Association.t = [| 0; 0; 0; 1; 1 |] in
+  let loads = Loads.ap_loads fig1_bla assoc in
+  check_float "a1" 0.5 loads.(0);
+  check_float "a2" (1. /. 3.) loads.(1);
+  check_float "max" 0.5 (Loads.max_load fig1_bla assoc)
+
+let test_loads_fig1_mla_example () =
+  (* all users -> a1: total 1/3 + 1/4 = 7/12 (paper §3.2) *)
+  let assoc : Association.t = [| 0; 0; 0; 0; 0 |] in
+  check_float "total" (7. /. 12.) (Loads.total_load fig1_bla assoc)
+
+let test_loads_min_rate_rule () =
+  (* adding a slower receiver re-rates the whole transmission *)
+  let assoc : Association.t = [| -1; 0; -1; -1; -1 |] in
+  check_float "u2 alone at 6" (1. /. 6.) (Loads.ap_load fig1_bla assoc ~ap:0);
+  let assoc : Association.t = [| -1; 0; -1; 0; -1 |] in
+  check_float "u2+u4 at 4" (1. /. 4.) (Loads.ap_load fig1_bla assoc ~ap:0)
+
+let test_loads_if_joins_leaves () =
+  let assoc : Association.t = [| -1; 0; -1; -1; -1 |] in
+  check_float "if u4 joins a1" 0.25
+    (Loads.load_if_joins fig1_bla assoc ~user:3 ~ap:0);
+  (* probing must not mutate *)
+  Alcotest.(check (option int)) "u4 untouched" None (Association.ap_of assoc 3);
+  check_float "if u2 leaves a1" 0.
+    (Loads.load_if_leaves fig1_bla assoc ~user:1 ~ap:0);
+  Alcotest.(check (option int)) "u2 untouched" (Some 0)
+    (Association.ap_of assoc 1)
+
+let test_load_vector_compare () =
+  let c = Loads.compare_load_vectors in
+  Alcotest.(check bool) "(1/2,0) < (1/2,1/5)" true
+    (c [| 0.5; 0. |] [| 0.5; 0.2 |] < 0);
+  Alcotest.(check bool) "equal" true (c [| 0.5; 0.2 |] [| 0.5; 0.2 |] = 0);
+  Alcotest.(check bool) "(7/12,0) > (1/2,1/5)" true
+    (c [| 7. /. 12.; 0. |] [| 0.5; 0.2 |] > 0);
+  let v = Loads.sorted_load_vector [| 0.1; 0.7; 0.3 |] in
+  Alcotest.(check (array (float 1e-12))) "sorted desc" [| 0.7; 0.3; 0.1 |] v
+
+(* ------------------------------------------------------------------ *)
+(* Scenario and generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_to_problem_rates () =
+  (* one AP at origin, users at canonical distances *)
+  let sc =
+    Scenario.make ~area_w:300. ~area_h:300.
+      ~ap_pos:[| Point.v 0. 0. |]
+      ~user_pos:[| Point.v 30. 0.; Point.v 0. 100.; Point.v 250. 0. |]
+      ~user_session:[| 0; 0; 0 |]
+      ~sessions:(Session.uniform ~n:1 ~rate_mbps:1.)
+      ~budget:0.9 ()
+  in
+  let p = Scenario.to_problem sc in
+  check_float "30m -> 54" 54. (Problem.link_rate p ~ap:0 ~user:0);
+  check_float "100m -> 18" 18. (Problem.link_rate p ~ap:0 ~user:1);
+  check_float "250m -> unreachable" 0. (Problem.link_rate p ~ap:0 ~user:2);
+  Alcotest.(check (list int)) "uncovered" [ 2 ] (Scenario.uncovered_users sc);
+  Alcotest.(check bool) "not fully covered" false (Scenario.fully_covered sc)
+
+let test_scenario_signal_is_distance () =
+  (* two APs; the closer one must be "strongest" even if rates tie *)
+  let sc =
+    Scenario.make ~area_w:300. ~area_h:300.
+      ~ap_pos:[| Point.v 0. 0.; Point.v 50. 0. |]
+      ~user_pos:[| Point.v 32. 0. |] (* 32m from a0 (54M), 18m from a1 (54M) *)
+      ~user_session:[| 0 |]
+      ~sessions:(Session.uniform ~n:1 ~rate_mbps:1.)
+      ~budget:0.9 ()
+  in
+  let p = Scenario.to_problem sc in
+  Alcotest.(check (option int)) "nearest wins" (Some 1)
+    (Problem.strongest_ap p 0)
+
+let test_generator_determinism () =
+  let cfg = { Scenario_gen.paper_default with n_aps = 20; n_users = 30 } in
+  let a = Scenario_gen.problems ~seed:7 ~n:3 cfg in
+  let b = Scenario_gen.problems ~seed:7 ~n:3 cfg in
+  List.iter2
+    (fun (pa : Problem.t) (pb : Problem.t) ->
+      Alcotest.(check bool) "same rates" true Problem.(pa.rates = pb.rates);
+      Alcotest.(check bool) "same sessions" true
+        Problem.(pa.user_session = pb.user_session))
+    a b;
+  let c = Scenario_gen.problems ~seed:8 ~n:1 cfg in
+  Alcotest.(check bool) "different seed differs" false
+    Problem.((List.hd a).rates = (List.hd c).rates)
+
+let test_generator_coverage () =
+  let cfg =
+    { Scenario_gen.paper_default with n_aps = 50; n_users = 80 }
+  in
+  let rng = Random.State.make [| 11 |] in
+  for _ = 1 to 5 do
+    let sc = Scenario_gen.generate ~rng cfg in
+    Alcotest.(check (list int)) "ensured coverage" []
+      (Scenario.uncovered_users sc)
+  done
+
+let test_generator_dims_and_sessions () =
+  let cfg =
+    { Scenario_gen.paper_default with n_aps = 13; n_users = 17; n_sessions = 4 }
+  in
+  let p = List.hd (Scenario_gen.problems ~seed:3 ~n:1 cfg) in
+  let n_aps, n_users = Problem.dims p in
+  Alcotest.(check int) "aps" 13 n_aps;
+  Alcotest.(check int) "users" 17 n_users;
+  Alcotest.(check int) "sessions" 4 (Problem.n_sessions p);
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= 4 then Alcotest.fail "session index out of range")
+    Problem.(p.user_session)
+
+(* ------------------------------------------------------------------ *)
+(* Topology statistics                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_topology_stats_fig1 () =
+  let t = Topology_stats.of_problem fig1 in
+  Alcotest.(check int) "aps" 2 t.Topology_stats.n_aps;
+  Alcotest.(check int) "covered" 5 t.Topology_stats.covered_users;
+  (* u1,u2 hear one AP; u3,u4,u5 hear two: mean 8/5, max 2, multi 3 *)
+  check_float "mean degree" (8. /. 5.) t.Topology_stats.mean_user_degree;
+  Alcotest.(check int) "max degree" 2 t.Topology_stats.max_user_degree;
+  Alcotest.(check int) "multi-covered" 3 t.Topology_stats.multi_covered_users;
+  check_float "reassignable" 0.6 (Topology_stats.reassignable_fraction t);
+  (* best rates: 3, 6, 5, 5, 4 -> mean 23/5 *)
+  check_float "mean best rate" (23. /. 5.) t.Topology_stats.mean_best_rate;
+  Alcotest.(check (array int)) "audiences" [| 2; 3 |]
+    t.Topology_stats.session_audience
+
+let test_topology_stats_uncovered () =
+  let p =
+    Problem.make ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
+      ~rates:[| [| 6.; 0. |] |] ~budget:0.9 ()
+  in
+  let t = Topology_stats.of_problem p in
+  Alcotest.(check int) "one covered" 1 t.Topology_stats.covered_users;
+  Alcotest.(check int) "no alternatives" 0 t.Topology_stats.multi_covered_users;
+  check_float "reassignable zero" 0. (Topology_stats.reassignable_fraction t)
+
+let test_topology_stats_histogram_sums () =
+  let rng = Random.State.make [| 44 |] in
+  let sc =
+    Scenario_gen.generate ~rng
+      { Scenario_gen.paper_default with n_aps = 20; n_users = 50 }
+  in
+  let t = Topology_stats.of_problem (Scenario.to_problem sc) in
+  let hist_total =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 t.Topology_stats.rate_histogram
+  in
+  Alcotest.(check int) "histogram covers everyone"
+    t.Topology_stats.covered_users hist_total;
+  Alcotest.(check int) "audiences cover everyone" 50
+    (Array.fold_left ( + ) 0 t.Topology_stats.session_audience)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario serialization                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_io_roundtrip () =
+  let rng = Random.State.make [| 33 |] in
+  let sc =
+    Scenario_gen.generate ~rng
+      { Scenario_gen.paper_default with n_aps = 12; n_users = 25 }
+  in
+  let sc' = Scenario_io.of_string (Scenario_io.to_string sc) in
+  Alcotest.(check bool) "ap positions" true
+    (sc'.Scenario.ap_pos = sc.Scenario.ap_pos);
+  Alcotest.(check bool) "user positions" true
+    (sc'.Scenario.user_pos = sc.Scenario.user_pos);
+  Alcotest.(check bool) "sessions" true
+    (sc'.Scenario.user_session = sc.Scenario.user_session);
+  (* the compiled problems are identical bit for bit *)
+  let p = Scenario.to_problem sc and p' = Scenario.to_problem sc' in
+  Alcotest.(check bool) "identical rates" true Problem.(p.rates = p'.rates);
+  Alcotest.(check bool) "identical budget" true
+    (Problem.budget p = Problem.budget p')
+
+let test_scenario_io_bit_exact_floats () =
+  (* a position with no short decimal representation round-trips exactly *)
+  let x = 1. /. 3. and y = Float.pi in
+  let sc =
+    Scenario.make ~area_w:10. ~area_h:10.
+      ~ap_pos:[| Point.v x y |]
+      ~user_pos:[| Point.v (x *. 2.) (y /. 7.) |]
+      ~user_session:[| 0 |]
+      ~sessions:(Session.uniform ~n:1 ~rate_mbps:(1. /. 7.))
+      ~budget:(2. /. 3.) ()
+  in
+  let sc' = Scenario_io.of_string (Scenario_io.to_string sc) in
+  Alcotest.(check bool) "ap bit-exact" true
+    (sc'.Scenario.ap_pos.(0) = sc.Scenario.ap_pos.(0));
+  Alcotest.(check bool) "user bit-exact" true
+    (sc'.Scenario.user_pos.(0) = sc.Scenario.user_pos.(0));
+  Alcotest.(check bool) "budget bit-exact" true
+    (sc'.Scenario.budget = sc.Scenario.budget);
+  Alcotest.(check bool) "session rate bit-exact" true
+    (Session.rate_mbps sc'.Scenario.sessions.(0)
+    = Session.rate_mbps sc.Scenario.sessions.(0))
+
+let test_scenario_io_rejects_garbage () =
+  let bad s =
+    try
+      ignore (Scenario_io.of_string s);
+      Alcotest.failf "accepted %S" s
+    with Scenario_io.Parse_error _ -> ()
+  in
+  bad "";
+  bad "not-a-scenario 1\n";
+  bad "wlan-mcast-scenario 99\n";
+  bad "wlan-mcast-scenario 1\nmystery line\n";
+  (* missing sections *)
+  bad "wlan-mcast-scenario 1\narea 10 10\n"
+
+let test_scenario_io_file () =
+  let rng = Random.State.make [| 34 |] in
+  let sc =
+    Scenario_gen.generate ~rng
+      { Scenario_gen.paper_default with n_aps = 5; n_users = 8 }
+  in
+  let path = Filename.temp_file "wlan_scenario" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Scenario_io.to_file path sc;
+      let sc' = Scenario_io.of_file path in
+      Alcotest.(check bool) "file roundtrip" true
+        (Scenario.to_problem sc' = Scenario.to_problem sc))
+
+let prop_scenario_io_roundtrip =
+  QCheck.Test.make ~name:"scenario serialization round-trips" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let sc =
+        Scenario_gen.generate ~rng
+          {
+            Scenario_gen.paper_default with
+            n_aps = 6;
+            n_users = 10;
+            n_sessions = 3;
+            ensure_coverage = false;
+          }
+      in
+      let sc' = Scenario_io.of_string (Scenario_io.to_string sc) in
+      Scenario.to_problem sc' = Scenario.to_problem sc)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let small_problem_gen =
+  (* random geometric problems: 1-8 APs, 1-12 users, 1-3 sessions *)
+  QCheck.Gen.(
+    let* n_aps = int_range 1 8 in
+    let* n_users = int_range 1 12 in
+    let* n_sessions = int_range 1 3 in
+    let* seed = int_range 0 1_000_000 in
+    return
+      (List.hd
+         (Scenario_gen.problems ~seed ~n:1
+            {
+              Scenario_gen.paper_default with
+              area_w = 400.;
+              area_h = 400.;
+              n_aps;
+              n_users;
+              n_sessions;
+              ensure_coverage = false;
+            })))
+
+let arb_problem = QCheck.make small_problem_gen
+
+let random_assoc rng p =
+  let _, n_users = Problem.dims p in
+  Array.init n_users (fun u ->
+      let ns = Problem.neighbor_aps p u in
+      match ns with
+      | [] -> Association.none
+      | _ ->
+          if Random.State.bool rng then Association.none
+          else List.nth ns (Random.State.int rng (List.length ns)))
+
+let prop_total_is_sum =
+  QCheck.Test.make ~name:"total load = sum of AP loads" ~count:100 arb_problem
+    (fun p ->
+      let rng = Random.State.make [| 5 |] in
+      let assoc = random_assoc rng p in
+      let loads = Loads.ap_loads p assoc in
+      feq ~eps:1e-9
+        (Array.fold_left ( +. ) 0. loads)
+        (Loads.total_load p assoc))
+
+let prop_ap_load_consistent =
+  QCheck.Test.make ~name:"ap_load agrees with ap_loads" ~count:100 arb_problem
+    (fun p ->
+      let rng = Random.State.make [| 6 |] in
+      let assoc = random_assoc rng p in
+      let loads = Loads.ap_loads p assoc in
+      Array.for_all Fun.id
+        (Array.mapi (fun a l -> feq l (Loads.ap_load p assoc ~ap:a)) loads))
+
+let prop_load_monotone_in_users =
+  QCheck.Test.make ~name:"adding a user never decreases an AP's load"
+    ~count:100 arb_problem (fun p ->
+      let rng = Random.State.make [| 7 |] in
+      let assoc = random_assoc rng p in
+      let ok = ref true in
+      Array.iteri
+        (fun u a ->
+          if a = Association.none then
+            List.iter
+              (fun ap ->
+                let before = Loads.ap_load p assoc ~ap in
+                let after = Loads.load_if_joins p assoc ~user:u ~ap in
+                if after < before -. 1e-12 then ok := false)
+              (Problem.neighbor_aps p u))
+        assoc;
+      !ok)
+
+let prop_leaving_never_increases =
+  QCheck.Test.make ~name:"removing a user never increases an AP's load"
+    ~count:100 arb_problem (fun p ->
+      let rng = Random.State.make [| 8 |] in
+      let assoc = random_assoc rng p in
+      let ok = ref true in
+      Array.iteri
+        (fun u a ->
+          if a <> Association.none then begin
+            let before = Loads.ap_load p assoc ~ap:a in
+            let after = Loads.load_if_leaves p assoc ~user:u ~ap:a in
+            if after > before +. 1e-12 then ok := false
+          end)
+        assoc;
+      !ok)
+
+let prop_rate_adaptation_in_table =
+  QCheck.Test.make ~name:"every generated link rate is a Table-1 rate"
+    ~count:50 arb_problem (fun p ->
+      let table = Rate_table.rates Rate_table.default in
+      Array.for_all
+        (Array.for_all (fun r ->
+             r = 0. || List.exists (fun t -> feq t r) table))
+        Problem.(p.rates))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_total_is_sum;
+      prop_ap_load_consistent;
+      prop_load_monotone_in_users;
+      prop_leaving_never_increases;
+      prop_rate_adaptation_in_table;
+      prop_scenario_io_roundtrip;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "wlan_model"
+    [
+      ( "point",
+        [
+          tc "distance" test_point_dist;
+          tc "symmetry" test_point_dist_symmetric;
+          tc "random in bounds" test_point_random_in_bounds;
+        ] );
+      ( "rate_table",
+        [
+          tc "table 1 thresholds" test_table1_thresholds;
+          tc "out of range" test_table1_out_of_range;
+          tc "monotone in distance" test_rate_monotone_in_distance;
+          tc "basic rate and range" test_basic_rate_and_range;
+          tc "basic-only table" test_basic_only;
+          tc "power scaling" test_scale_thresholds;
+          tc "rejects unsorted" test_make_rejects_unsorted;
+        ] );
+      ( "session",
+        [ tc "make" test_session_make; tc "uniform" test_session_uniform ] );
+      ( "problem",
+        [
+          tc "dims" test_problem_dims;
+          tc "neighbors" test_problem_neighbors;
+          tc "strongest ap" test_problem_strongest_ap;
+          tc "isolated user" test_problem_no_neighbor;
+          tc "receivers" test_problem_receivers;
+          tc "distinct rates" test_problem_distinct_rates;
+          tc "basic-rate restriction" test_problem_basic_rate_restriction;
+          tc "validation" test_problem_validate_rejects;
+        ] );
+      ( "association",
+        [
+          tc "serve/unserve" test_association_basic;
+          tc "users_of" test_association_users_of;
+        ] );
+      ( "loads",
+        [
+          tc "fig1 MNU walk-through" test_loads_fig1_mnu_example;
+          tc "fig1 infeasible pair" test_loads_infeasible_pair;
+          tc "fig1 BLA walk-through" test_loads_fig1_bla_example;
+          tc "fig1 MLA walk-through" test_loads_fig1_mla_example;
+          tc "min-rate rule" test_loads_min_rate_rule;
+          tc "join/leave probes" test_loads_if_joins_leaves;
+          tc "load vector compare" test_load_vector_compare;
+        ] );
+      ( "scenario",
+        [
+          tc "rate adaptation" test_scenario_to_problem_rates;
+          tc "signal = -distance" test_scenario_signal_is_distance;
+          tc "generator determinism" test_generator_determinism;
+          tc "generator coverage" test_generator_coverage;
+          tc "generator dims" test_generator_dims_and_sessions;
+        ] );
+      ( "topology_stats",
+        [
+          tc "fig1" test_topology_stats_fig1;
+          tc "uncovered user" test_topology_stats_uncovered;
+          tc "histogram sums" test_topology_stats_histogram_sums;
+        ] );
+      ( "scenario_io",
+        [
+          tc "roundtrip" test_scenario_io_roundtrip;
+          tc "bit-exact floats" test_scenario_io_bit_exact_floats;
+          tc "rejects garbage" test_scenario_io_rejects_garbage;
+          tc "file roundtrip" test_scenario_io_file;
+        ] );
+      ("properties", qcheck_cases);
+    ]
