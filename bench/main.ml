@@ -4,10 +4,13 @@
    paper's evaluation (ICDCS'07 §7) as text tables: Table 1, Figures 9-12,
    the abstract's headline numbers, and the design-choice ablations listed
    in DESIGN.md. `--bechamel` additionally runs micro-benchmarks of the
-   algorithms (one Bechamel test per algorithm).
+   algorithms (one Bechamel test per algorithm) and of the Harness.Pool
+   scenario fan-out.
 
    Selecting experiments: `dune exec bench/main.exe -- fig9 fig11`
-   Quick mode (fewer scenarios): `dune exec bench/main.exe -- --quick` *)
+   Quick mode (fewer scenarios): `dune exec bench/main.exe -- --quick`
+   Parallel scenarios: `dune exec bench/main.exe -- fig9 -j 4`
+   (any -j value produces bit-identical figures; see EXPERIMENTS.md) *)
 
 let known =
   [
@@ -18,23 +21,35 @@ let known =
     "ext-standards";
   ]
 
-let timed name f =
+(* Per-figure report footer: wall clock, process CPU time (all domains),
+   and their ratio — the observable parallel speedup. Sys.time sums the
+   CPU time of every domain, so cpu/wall ~ 1 when sequential and ~ jobs
+   when the fan-out scales. *)
+let timed ~jobs name f =
   let t0 = Unix.gettimeofday () in
+  let c0 = Sys.time () in
   let r = f () in
-  Fmt.pr "[%s: %.1fs]@." name (Unix.gettimeofday () -. t0);
+  let wall = Unix.gettimeofday () -. t0 in
+  let cpu = Sys.time () -. c0 in
+  Fmt.pr "[%s: %.1fs wall, %.1fs cpu, %.2fx parallel speedup, jobs=%d]@." name
+    wall cpu
+    (if wall > 0. then cpu /. wall else 1.)
+    jobs;
   r
 
 (* Figures are cached so `headline` can reuse fig9a/fig10a/fig11 when both
-   are requested in the same invocation. *)
-let cache : (string, Harness.Series.figure) Hashtbl.t = Hashtbl.create 16
+   are requested in the same invocation. The cache is keyed by (id, cfg) —
+   not id alone — so the same figure under two configs in one run is
+   recomputed, never served stale. *)
+let cache = Harness.Fig_cache.create ()
 
-let figure cfg id compute =
-  match Hashtbl.find_opt cache id with
-  | Some f -> f
-  | None ->
-      let f = timed id (fun () -> compute ?cfg:(Some cfg) ()) in
-      Hashtbl.replace cache id f;
-      f
+let figure (cfg : Harness.Experiments.config) id =
+  match List.assoc_opt id Harness.Experiments.drivers with
+  | None -> Fmt.invalid_arg "unknown figure id %S" id
+  | Some compute ->
+      Harness.Fig_cache.get cache ~cfg ~id (fun () ->
+          timed ~jobs:cfg.Harness.Experiments.jobs id (fun () ->
+              compute ?cfg:(Some cfg) ()))
 
 (* set by the CLI: directory to also write each figure as CSV *)
 let csv_dir : string option ref = ref None
@@ -51,31 +66,27 @@ let print_fig f =
       close_out oc;
       Fmt.pr "[csv: %s]@." path
 
+(* experiment name -> figure ids (most experiments are a single figure;
+   fig9/fig10/fig12 are triptychs) *)
+let figures_of = function
+  | "fig9" -> [ "fig9a"; "fig9b"; "fig9c" ]
+  | "fig10" -> [ "fig10a"; "fig10b"; "fig10c" ]
+  | "fig12" -> [ "fig12a"; "fig12b"; "fig12c" ]
+  | "fig11" -> [ "fig11" ]
+  | id -> [ id ]
+
 let run_experiment cfg name =
-  let open Harness.Experiments in
   match name with
-  | "table1" -> Fmt.pr "%a@." Harness.Report.pp_table1 (table1 ())
-  | "fig9" ->
-      print_fig (figure cfg "fig9a" fig9a);
-      print_fig (figure cfg "fig9b" fig9b);
-      print_fig (figure cfg "fig9c" fig9c)
-  | "fig10" ->
-      print_fig (figure cfg "fig10a" fig10a);
-      print_fig (figure cfg "fig10b" fig10b);
-      print_fig (figure cfg "fig10c" fig10c)
-  | "fig11" -> print_fig (figure cfg "fig11" fig11)
-  | "fig12" ->
-      print_fig (figure cfg "fig12a" fig12a);
-      print_fig (figure cfg "fig12b" fig12b);
-      print_fig (figure cfg "fig12c" fig12c)
+  | "table1" ->
+      Fmt.pr "%a@." Harness.Report.pp_table1 (Harness.Experiments.table1 ())
   | "headline" ->
-      let f9 = figure cfg "fig9a" fig9a in
-      let f10 = figure cfg "fig10a" fig10a in
-      let f11 = figure cfg "fig11" fig11 in
+      let f9 = figure cfg "fig9a" in
+      let f10 = figure cfg "fig10a" in
+      let f11 = figure cfg "fig11" in
       let at fig n x = Option.get (Harness.Series.mean_at fig n x) in
       let h =
         {
-          mla_total_load_reduction_pct =
+          Harness.Experiments.mla_total_load_reduction_pct =
             Harness.Stats.pct_reduction
               ~baseline:(at f9 "SSA" 400.)
               ~improved:(at f9 "MLA-centralized" 400.);
@@ -90,72 +101,27 @@ let run_experiment cfg name =
         }
       in
       Fmt.pr "%a@." Harness.Report.pp_headline h
-  | "ablate-rate" -> print_fig (figure cfg "ablate-rate" ablate_rate)
-  | "ablate-bstar" -> print_fig (figure cfg "ablate-bstar" ablate_bstar)
-  | "ablate-sched" -> print_fig (figure cfg "ablate-sched" ablate_sched)
-  | "ablate-bla-mode" ->
-      print_fig (figure cfg "ablate-bla-mode" ablate_bla_mode)
-  | "ablate-mla-alg" -> print_fig (figure cfg "ablate-mla-alg" ablate_mla_alg)
-  | "ext-popularity" -> print_fig (figure cfg "ext-popularity" ext_popularity)
-  | "ext-interference" ->
-      print_fig (figure cfg "ext-interference" ext_interference)
-  | "ext-dual" -> print_fig (figure cfg "ext-dual" ext_dual)
-  | "ext-loss" -> print_fig (figure cfg "ext-loss" ext_loss)
-  | "ext-mobility" -> print_fig (figure cfg "ext-mobility" ext_mobility)
-  | "ext-power" -> print_fig (figure cfg "ext-power" ext_power)
-  | "ext-standards" -> print_fig (figure cfg "ext-standards" ext_standards)
+  | name when List.mem name known ->
+      List.iter (fun id -> print_fig (figure cfg id)) (figures_of name)
   | other ->
       Fmt.epr "unknown experiment %S (known: %a)@." other
         Fmt.(list ~sep:sp string)
         known
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks: one Test per algorithm                   *)
+(* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
-let bechamel_benchmarks () =
+let bechamel_run ~header tests =
   let open Bechamel in
   let open Toolkit in
-  let p =
-    List.hd
-      (Wlan_model.Scenario_gen.problems ~seed:99 ~n:1
-         {
-           Wlan_model.Scenario_gen.paper_default with
-           n_aps = 100;
-           n_users = 200;
-         })
-  in
-  let module C = Mcast_core in
-  let stagef f = Staged.stage (fun () -> ignore (f ())) in
-  let tests =
-    Test.make_grouped ~name:"algorithms"
-      [
-        Test.make ~name:"ssa" (stagef (fun () -> C.Ssa.run p));
-        Test.make ~name:"mla-centralized" (stagef (fun () -> C.Mla.run p));
-        Test.make ~name:"mla-distributed"
-          (stagef (fun () -> C.Distributed.mla p));
-        Test.make ~name:"bla-centralized-soft"
-          (stagef (fun () -> C.Bla.run_exn ~mode:`Soft p));
-        Test.make ~name:"bla-centralized-hard"
-          (stagef (fun () -> C.Bla.run_exn ~mode:`Hard p));
-        Test.make ~name:"bla-distributed"
-          (stagef (fun () -> C.Distributed.bla p));
-        Test.make ~name:"mnu-centralized"
-          (stagef (fun () -> C.Mnu.run (Wlan_model.Problem.with_budget p 0.05)));
-        Test.make ~name:"mnu-distributed"
-          (stagef (fun () ->
-               C.Distributed.mnu (Wlan_model.Problem.with_budget p 0.05)));
-        Test.make ~name:"reduction"
-          (stagef (fun () -> C.Reduction.cover_instance p));
-      ]
-  in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Fmt.pr "@.== bechamel: per-call execution time (100 APs, 200 users)@.";
+  Fmt.pr "@.== bechamel: %s@." header;
   let rows =
     Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -174,6 +140,75 @@ let bechamel_benchmarks () =
       in
       Fmt.pr "%-40s %s  %s@." name est r2)
     rows
+
+let bechamel_algorithms () =
+  let open Bechamel in
+  let p =
+    List.hd
+      (Wlan_model.Scenario_gen.problems ~seed:99 ~n:1
+         {
+           Wlan_model.Scenario_gen.paper_default with
+           n_aps = 100;
+           n_users = 200;
+         })
+  in
+  let module C = Mcast_core in
+  let stagef f = Staged.stage (fun () -> ignore (f ())) in
+  bechamel_run ~header:"per-call execution time (100 APs, 200 users)"
+    (Test.make_grouped ~name:"algorithms"
+       [
+         Test.make ~name:"ssa" (stagef (fun () -> C.Ssa.run p));
+         Test.make ~name:"mla-centralized" (stagef (fun () -> C.Mla.run p));
+         Test.make ~name:"mla-distributed"
+           (stagef (fun () -> C.Distributed.mla p));
+         Test.make ~name:"bla-centralized-soft"
+           (stagef (fun () -> C.Bla.run_exn ~mode:`Soft p));
+         Test.make ~name:"bla-centralized-hard"
+           (stagef (fun () -> C.Bla.run_exn ~mode:`Hard p));
+         Test.make ~name:"bla-distributed"
+           (stagef (fun () -> C.Distributed.bla p));
+         Test.make ~name:"mnu-centralized"
+           (stagef (fun () -> C.Mnu.run (Wlan_model.Problem.with_budget p 0.05)));
+         Test.make ~name:"mnu-distributed"
+           (stagef (fun () ->
+                C.Distributed.mnu (Wlan_model.Problem.with_budget p 0.05)));
+         Test.make ~name:"reduction"
+           (stagef (fun () -> C.Reduction.cover_instance p));
+       ])
+
+(* Sequential vs pooled evaluation of one batch of scenarios — the shape
+   every figure driver now has. Tracks the fan-out win across BENCH
+   snapshots. *)
+let bechamel_pool ~jobs () =
+  let open Bechamel in
+  let problems =
+    Wlan_model.Scenario_gen.problems ~seed:99 ~n:8
+      {
+        Wlan_model.Scenario_gen.paper_default with
+        n_aps = 100;
+        n_users = 200;
+      }
+  in
+  let eval p = ignore (Mcast_core.Mla.run p) in
+  let pool = Harness.Pool.create ~jobs in
+  let tests =
+    Test.make_grouped ~name:"pool"
+      [
+        Test.make ~name:"scenarios-sequential"
+          (Staged.stage (fun () -> List.iter eval problems));
+        Test.make
+          ~name:(Fmt.str "scenarios-pooled-j%d" jobs)
+          (Staged.stage (fun () ->
+               ignore
+                 (Harness.Pool.run pool
+                    (List.map (fun p () -> eval p) problems))));
+      ]
+  in
+  bechamel_run
+    ~header:
+      (Fmt.str "8-scenario MLA batch, sequential vs pooled (jobs=%d)" jobs)
+    tests;
+  Harness.Pool.shutdown pool
 
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
@@ -209,6 +244,16 @@ let node_limit_arg =
     & info [ "node-limit" ]
         ~doc:"Branch-and-bound node budget per exact solve.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains evaluating scenarios in parallel (default: the \
+           recommended domain count). Figures are bit-identical for every \
+           value of $(docv).")
+
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Fast pass: 5 scenarios, 2 small.")
 
@@ -223,14 +268,16 @@ let bechamel_arg =
     value & flag
     & info [ "bechamel" ] ~doc:"Also run Bechamel micro-benchmarks.")
 
-let main names scenarios small seed node_limit quick csv bech =
+let main names scenarios small seed node_limit jobs quick csv bech =
   csv_dir := csv;
+  let jobs = Int.max 1 jobs in
   let cfg =
     {
       Harness.Experiments.scenarios = (if quick then 5 else scenarios);
       small_scenarios = (if quick then 2 else small);
       seed;
       ilp_node_limit = node_limit;
+      jobs;
     }
   in
   let names =
@@ -244,12 +291,20 @@ let main names scenarios small seed node_limit quick csv bech =
         ]
     | ns -> ns
   in
-  Fmt.pr "wlan-mcast benchmark harness: %d scenarios/point, seed %d@."
-    cfg.Harness.Experiments.scenarios cfg.Harness.Experiments.seed;
+  Fmt.pr "wlan-mcast benchmark harness: %d scenarios/point, seed %d, %d jobs@."
+    cfg.Harness.Experiments.scenarios cfg.Harness.Experiments.seed jobs;
   let t0 = Unix.gettimeofday () in
+  let c0 = Sys.time () in
   List.iter (run_experiment cfg) names;
-  if bech then bechamel_benchmarks ();
-  Fmt.pr "@.total wall time: %.1fs@." (Unix.gettimeofday () -. t0)
+  if bech then begin
+    bechamel_algorithms ();
+    bechamel_pool ~jobs ()
+  end;
+  let wall = Unix.gettimeofday () -. t0 in
+  Fmt.pr "@.total wall time: %.1fs (cpu %.1fs, %.2fx, jobs=%d)@." wall
+    (Sys.time () -. c0)
+    (if wall > 0. then (Sys.time () -. c0) /. wall else 1.)
+    jobs
 
 let cmd =
   Cmd.v
@@ -259,6 +314,6 @@ let cmd =
           association-control paper")
     Term.(
       const main $ experiments_arg $ scenarios_arg $ small_arg $ seed_arg
-      $ node_limit_arg $ quick_arg $ csv_arg $ bechamel_arg)
+      $ node_limit_arg $ jobs_arg $ quick_arg $ csv_arg $ bechamel_arg)
 
 let () = exit (Cmd.eval cmd)

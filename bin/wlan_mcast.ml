@@ -4,12 +4,14 @@
    Subcommands:
      solve     generate a random WLAN and run one or all algorithms
      simulate  full discrete-event run: scan, associate over the air, stream
+     figures   reproduce paper figures, scenarios fanned out over --jobs
      example   replay the paper's Figure 1 walk-throughs
 
    Try:
      dune exec bin/wlan_mcast.exe -- solve --aps 100 --users 200
      dune exec bin/wlan_mcast.exe -- solve --algorithm mnu --budget 0.05
      dune exec bin/wlan_mcast.exe -- simulate --policy distributed-bla
+     dune exec bin/wlan_mcast.exe -- figures fig9a -j 4
      dune exec bin/wlan_mcast.exe -- example *)
 
 open Cmdliner
@@ -258,6 +260,65 @@ let analyze_cmd =
        ~doc:"Deployment statistics: coverage, overlap, rates, channel plan,              and a quick algorithm comparison")
     Term.(const run $ verbose_term $ net_term $ load $ save)
 
+(* ---------------- figures ---------------- *)
+
+let figures_cmd =
+  let ids = List.map fst Harness.Experiments.drivers in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FIGURE"
+          ~doc:"Figure ids to reproduce (default: all). Known: fig9a..fig12c \
+                and the ablate-*/ext-* studies; see $(b,bench/main.exe) for \
+                the grouped variants.")
+  in
+  let scenarios =
+    Arg.(
+      value & opt int 40
+      & info [ "scenarios" ] ~doc:"Random scenarios per point.")
+  in
+  let seed =
+    Arg.(value & opt int 2007 & info [ "seed" ] ~doc:"Master seed.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Harness.Pool.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains evaluating scenarios in parallel (default: the \
+             recommended domain count). Per-scenario seeds are split from \
+             --seed before dispatch, so output is bit-identical for every \
+             value of $(docv).")
+  in
+  let run () names scenarios seed jobs =
+    let cfg =
+      {
+        Harness.Experiments.default_config with
+        scenarios;
+        seed;
+        jobs = Int.max 1 jobs;
+      }
+    in
+    let names = match names with [] -> ids | ns -> ns in
+    List.iter
+      (fun id ->
+        match List.assoc_opt id Harness.Experiments.drivers with
+        | Some f -> Fmt.pr "%a@." Harness.Report.pp_figure (f ?cfg:(Some cfg) ())
+        | None ->
+            Fmt.epr "unknown figure %S (known: %a)@." id
+              Fmt.(list ~sep:sp string)
+              ids;
+            exit 1)
+      names
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:
+         "Reproduce the paper's figures, fanning scenarios out over --jobs \
+          domains with deterministic output")
+    Term.(const run $ verbose_term $ names $ scenarios $ seed $ jobs)
+
 (* ---------------- example ---------------- *)
 
 let example_cmd =
@@ -289,4 +350,4 @@ let () =
           (Cmd.info "wlan-mcast"
              ~doc:"Multicast association control for large-scale WLANs \
                    (ICDCS'07 reproduction)")
-          [ solve_cmd; simulate_cmd; analyze_cmd; example_cmd ]))
+          [ solve_cmd; simulate_cmd; analyze_cmd; figures_cmd; example_cmd ]))

@@ -14,30 +14,55 @@ type config = {
   small_scenarios : int;  (** scenarios for the ILP-bound Fig. 12 *)
   seed : int;
   ilp_node_limit : int;  (** branch-and-bound budget per exact solve *)
+  jobs : int;  (** domains fanning scenarios out; 1 = fully sequential *)
 }
 
 let default_config =
-  { scenarios = 40; small_scenarios = 10; seed = 2007; ilp_node_limit = 60_000 }
+  {
+    scenarios = 40;
+    small_scenarios = 10;
+    seed = 2007;
+    ilp_node_limit = 60_000;
+    jobs = 1;
+  }
 
-(** {1 Generic sweep machinery} *)
+(** {1 Generic sweep machinery}
+
+    Every scenario loop below goes through a {!Pool}: one job per random
+    instance, with the instance's RNG seed split from [cfg.seed] before
+    dispatch (see {!Scenario_gen.scenario_rng}), and results re-assembled
+    in instance order — so every figure is bit-identical at any [jobs]
+    value. *)
+
+(** Evaluate every [(name, f)] of [algorithms] on every problem, one pool
+    job per problem; summaries are per algorithm, in instance order. *)
+let eval_rows pool ~algorithms problems =
+  let rows =
+    Pool.run pool
+      (List.map
+         (fun p () -> List.map (fun (_, f) -> f p) algorithms)
+         problems)
+  in
+  List.mapi
+    (fun k (name, _) ->
+      (name, Stats.summarize (List.map (fun row -> List.nth row k) rows)))
+    algorithms
 
 (** Run [algorithms] (name, problem -> metric) over [scenarios] random
     instances at each x, where [problems_at x] generates them. *)
-let sweep ~algorithms ~problems_at xs =
+let sweep ~pool ~algorithms ~problems_at xs =
   List.map
-    (fun x ->
-      let problems = problems_at x in
-      let values =
-        List.map
-          (fun (name, f) ->
-            (name, Stats.summarize (List.map f problems)))
-          algorithms
-      in
-      { Series.x; values })
+    (fun x -> { Series.x; values = eval_rows pool ~algorithms (problems_at x) })
     xs
 
-let gen_problems cfg ~ix ~gen_cfg =
-  Scenario_gen.problems ~seed:(cfg.seed + (1009 * ix)) ~n:cfg.scenarios gen_cfg
+(** Generate [n] instances through the pool: instance [i] depends only on
+    [(seed, i)], never on the instances before it. *)
+let par_problems pool ~seed ~n gen_cfg =
+  Pool.run pool
+    (List.init n (fun i () -> Scenario_gen.nth_problem ~seed ~index:i gen_cfg))
+
+let gen_problems pool cfg ~ix ~gen_cfg =
+  par_problems pool ~seed:(cfg.seed + (1009 * ix)) ~n:cfg.scenarios gen_cfg
 
 (** {1 Metrics} *)
 
@@ -77,10 +102,11 @@ let ap_sweep = [ 25; 50; 75; 100; 125; 150; 175; 200 ]
 let session_sweep = [ 1; 2; 4; 6; 8; 10; 14; 18 ]
 
 let fig9a ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let points =
-    sweep ~algorithms:mla_algorithms
+    sweep ~pool ~algorithms:mla_algorithms
       ~problems_at:(fun users ->
-        gen_problems cfg ~ix:(int_of_float users)
+        gen_problems pool cfg ~ix:(int_of_float users)
           ~gen_cfg:
             {
               Scenario_gen.paper_default with
@@ -98,15 +124,16 @@ let fig9a ?(cfg = default_config) () =
   }
 
 let fig9b ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   {
     Series.id = "fig9b";
     title = "Total AP load vs number of APs (100 users, 5 sessions)";
     x_label = "APs";
     y_label = "total multicast load";
     points =
-      sweep ~algorithms:mla_algorithms
+      sweep ~pool ~algorithms:mla_algorithms
         ~problems_at:(fun aps ->
-          gen_problems cfg ~ix:(int_of_float aps)
+          gen_problems pool cfg ~ix:(int_of_float aps)
             ~gen_cfg:
               {
                 Scenario_gen.paper_default with
@@ -117,15 +144,16 @@ let fig9b ?(cfg = default_config) () =
   }
 
 let fig9c ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   {
     Series.id = "fig9c";
     title = "Total AP load vs number of sessions (200 APs, 200 users)";
     x_label = "sessions";
     y_label = "total multicast load";
     points =
-      sweep ~algorithms:mla_algorithms
+      sweep ~pool ~algorithms:mla_algorithms
         ~problems_at:(fun s ->
-          gen_problems cfg ~ix:(int_of_float s)
+          gen_problems pool cfg ~ix:(int_of_float s)
             ~gen_cfg:
               {
                 Scenario_gen.paper_default with
@@ -139,15 +167,16 @@ let fig9c ?(cfg = default_config) () =
 (** {1 Figure 10 — maximum AP load (BLA vs SSA)} *)
 
 let fig10a ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   {
     Series.id = "fig10a";
     title = "Max AP load vs number of users (200 APs, 5 sessions)";
     x_label = "users";
     y_label = "max multicast load";
     points =
-      sweep ~algorithms:bla_algorithms
+      sweep ~pool ~algorithms:bla_algorithms
         ~problems_at:(fun users ->
-          gen_problems cfg ~ix:(int_of_float users)
+          gen_problems pool cfg ~ix:(int_of_float users)
             ~gen_cfg:
               {
                 Scenario_gen.paper_default with
@@ -158,15 +187,16 @@ let fig10a ?(cfg = default_config) () =
   }
 
 let fig10b ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   {
     Series.id = "fig10b";
     title = "Max AP load vs number of APs (100 users, 5 sessions)";
     x_label = "APs";
     y_label = "max multicast load";
     points =
-      sweep ~algorithms:bla_algorithms
+      sweep ~pool ~algorithms:bla_algorithms
         ~problems_at:(fun aps ->
-          gen_problems cfg ~ix:(int_of_float aps)
+          gen_problems pool cfg ~ix:(int_of_float aps)
             ~gen_cfg:
               {
                 Scenario_gen.paper_default with
@@ -177,15 +207,16 @@ let fig10b ?(cfg = default_config) () =
   }
 
 let fig10c ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   {
     Series.id = "fig10c";
     title = "Max AP load vs number of sessions (200 APs, 200 users)";
     x_label = "sessions";
     y_label = "max multicast load";
     points =
-      sweep ~algorithms:bla_algorithms
+      sweep ~pool ~algorithms:bla_algorithms
         ~problems_at:(fun s ->
-          gen_problems cfg ~ix:(int_of_float s)
+          gen_problems pool cfg ~ix:(int_of_float s)
             ~gen_cfg:
               {
                 Scenario_gen.paper_default with
@@ -205,8 +236,9 @@ let fig10c ?(cfg = default_config) () =
 let budget_sweep = [ 0.01; 0.02; 0.03; 0.04; 0.05; 0.06; 0.08; 0.1 ]
 
 let fig11 ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let base_problems =
-    gen_problems cfg ~ix:11
+    gen_problems pool cfg ~ix:11
       ~gen_cfg:
         {
           Scenario_gen.paper_default with
@@ -223,7 +255,7 @@ let fig11 ?(cfg = default_config) () =
     x_label = "per-AP load limit";
     y_label = "satisfied users";
     points =
-      sweep ~algorithms:mnu_algorithms
+      sweep ~pool ~algorithms:mnu_algorithms
         ~problems_at:(fun b ->
           List.map (fun p -> Problem.with_budget p b) base_problems)
         budget_sweep;
@@ -240,11 +272,12 @@ let small_user_sweep = [ 10; 20; 30; 40; 50 ]
 let small_gen users =
   { Scenario_gen.paper_small with n_users = users }
 
-let small_problems cfg ~ix users =
-  Scenario_gen.problems ~seed:(cfg.seed + (31 * ix)) ~n:cfg.small_scenarios
+let small_problems pool cfg ~ix users =
+  par_problems pool ~seed:(cfg.seed + (31 * ix)) ~n:cfg.small_scenarios
     (small_gen users)
 
 let fig12a ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let algorithms =
     mla_algorithms
     @ [
@@ -263,13 +296,14 @@ let fig12a ?(cfg = default_config) () =
     x_label = "users";
     y_label = "total multicast load";
     points =
-      sweep ~algorithms
+      sweep ~pool ~algorithms
         ~problems_at:(fun users ->
-          small_problems cfg ~ix:(int_of_float users) (int_of_float users))
+          small_problems pool cfg ~ix:(int_of_float users) (int_of_float users))
         (List.map float_of_int small_user_sweep);
   }
 
 let fig12b ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let algorithms =
     bla_algorithms
     @ [
@@ -292,13 +326,15 @@ let fig12b ?(cfg = default_config) () =
     x_label = "users";
     y_label = "max multicast load";
     points =
-      sweep ~algorithms
+      sweep ~pool ~algorithms
         ~problems_at:(fun users ->
-          small_problems cfg ~ix:(41 * int_of_float users) (int_of_float users))
+          small_problems pool cfg ~ix:(41 * int_of_float users)
+            (int_of_float users))
         (List.map float_of_int small_user_sweep);
   }
 
 let fig12c ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   (* unsatisfied users under budget 0.042 *)
   let budget = 0.042 in
   let unsat f p =
@@ -327,9 +363,10 @@ let fig12c ?(cfg = default_config) () =
     x_label = "users";
     y_label = "unsatisfied users";
     points =
-      sweep ~algorithms
+      sweep ~pool ~algorithms
         ~problems_at:(fun users ->
-          small_problems cfg ~ix:(53 * int_of_float users) (int_of_float users))
+          small_problems pool cfg ~ix:(53 * int_of_float users)
+            (int_of_float users))
         (List.map float_of_int small_user_sweep);
   }
 
@@ -375,15 +412,18 @@ let headline ?(cfg = default_config) () =
 (** Multi-rate vs basic-rate multicast: the paper notes (§3.1) that the
     algorithms still beat SSA when broadcast is pinned to the basic rate. *)
 let ablate_rate ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let problems =
-    gen_problems cfg ~ix:77
+    gen_problems pool cfg ~ix:77
       ~gen_cfg:{ Scenario_gen.paper_default with n_aps = 200; n_users = 200 }
   in
   let rows transform =
-    List.map
-      (fun (name, f) ->
-        (name, Stats.summarize (List.map (fun p -> f (transform p)) problems)))
-      mla_algorithms
+    eval_rows pool
+      ~algorithms:
+        (List.map
+           (fun (name, f) -> (name, fun p -> f (transform p)))
+           mla_algorithms)
+      problems
   in
   {
     Series.id = "ablate-rate";
@@ -399,8 +439,9 @@ let ablate_rate ?(cfg = default_config) () =
 
 (** BLA's B* grid resolution. *)
 let ablate_bstar ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let problems =
-    gen_problems cfg ~ix:78
+    gen_problems pool cfg ~ix:78
       ~gen_cfg:{ Scenario_gen.paper_default with n_aps = 100; n_users = 200 }
   in
   {
@@ -414,13 +455,13 @@ let ablate_bstar ?(cfg = default_config) () =
           {
             Series.x = float_of_int n_guesses;
             values =
-              [
-                ( "BLA-centralized",
-                  Stats.summarize
-                    (List.map
-                       (fun p -> (Bla.run_exn ~n_guesses p).Solution.max_load)
-                       problems) );
-              ];
+              eval_rows pool
+                ~algorithms:
+                  [
+                    ( "BLA-centralized",
+                      fun p -> (Bla.run_exn ~n_guesses p).Solution.max_load );
+                  ]
+                problems;
           })
         [ 2; 4; 8; 12; 16; 24 ];
   }
@@ -429,16 +470,12 @@ let ablate_bstar ?(cfg = default_config) () =
     ([`Soft], carries the 8-approximation guarantee) vs the hard-cap
     variant ([`Hard], never overshoots, no guarantee). *)
 let ablate_bla_mode ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let problems =
-    gen_problems cfg ~ix:80
+    gen_problems pool cfg ~ix:80
       ~gen_cfg:{ Scenario_gen.paper_default with n_aps = 200; n_users = 400 }
   in
-  let row mode name =
-    ( name,
-      Stats.summarize
-        (List.map (fun p -> (Bla.run_exn ~mode p).Solution.max_load) problems)
-    )
-  in
+  let row mode name = (name, fun p -> (Bla.run_exn ~mode p).Solution.max_load) in
   {
     Series.id = "ablate-bla-mode";
     title = "Centralized BLA: overshoot-and-split vs hard budget caps";
@@ -448,7 +485,11 @@ let ablate_bla_mode ?(cfg = default_config) () =
       [
         {
           Series.x = 400.;
-          values = [ row `Soft "soft (paper Fig. 3)"; row `Hard "hard caps" ];
+          values =
+            eval_rows pool
+              ~algorithms:
+                [ row `Soft "soft (paper Fig. 3)"; row `Hard "hard caps" ]
+              problems;
         };
       ];
   }
@@ -457,6 +498,7 @@ let ablate_bla_mode ?(cfg = default_config) () =
     layer algorithm is an alternative to greedy): greedy vs layering vs LP
     rounding vs the exact optimum. *)
 let ablate_mla_alg ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let algorithms =
     [
       ("greedy", fun p -> total_of (Mla.run p));
@@ -481,9 +523,10 @@ let ablate_mla_alg ?(cfg = default_config) () =
     x_label = "users";
     y_label = "total multicast load";
     points =
-      sweep ~algorithms
+      sweep ~pool ~algorithms
         ~problems_at:(fun users ->
-          small_problems cfg ~ix:(71 * int_of_float users) (int_of_float users))
+          small_problems pool cfg ~ix:(71 * int_of_float users)
+            (int_of_float users))
         (List.map float_of_int [ 10; 20; 30; 40 ]);
   }
 
@@ -494,11 +537,12 @@ let ablate_mla_alg ?(cfg = default_config) () =
     association control's edge over SSA grows with the skew, because
     popular sessions can be consolidated onto fewer transmissions. *)
 let ext_popularity ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let problems_at alpha =
     let popularity =
       if alpha <= 1e-9 then Scenario_gen.Uniform_pop else Scenario_gen.Zipf alpha
     in
-    Scenario_gen.problems ~seed:(cfg.seed + 91) ~n:cfg.scenarios
+    par_problems pool ~seed:(cfg.seed + 91) ~n:cfg.scenarios
       {
         Scenario_gen.paper_default with
         n_aps = 200;
@@ -514,7 +558,9 @@ let ext_popularity ?(cfg = default_config) () =
        sessions)";
     x_label = "zipf alpha";
     y_label = "total multicast load";
-    points = sweep ~algorithms:mla_algorithms ~problems_at [ 0.; 0.5; 1.0; 1.5; 2.0 ];
+    points =
+      sweep ~pool ~algorithms:mla_algorithms ~problems_at
+        [ 0.; 0.5; 1.0; 1.5; 2.0 ];
   }
 
 (** Residual co-channel interference: 3 channels (the 802.11b/g situation
@@ -522,11 +568,13 @@ let ext_popularity ?(cfg = default_config) () =
     range. BLA/MLA "implicitly optimize interference" (§3.2 note) — this
     measures by how much. *)
 let ext_interference ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let range = 2. *. Rate_table.range Rate_table.default in
   let point aps =
-    let rng = Random.State.make [| cfg.seed + 17; aps |] in
     let samples =
-      List.init cfg.scenarios (fun _ ->
+      Pool.run pool
+      @@ List.init cfg.scenarios (fun i () ->
+          let rng = Random.State.make [| cfg.seed + 17; aps; i |] in
           let sc =
             Scenario_gen.generate ~rng
               { Scenario_gen.paper_default with n_aps = aps; n_users = 200 }
@@ -572,17 +620,19 @@ let ext_interference ?(cfg = default_config) () =
     of one shared SSA AP vs SSA-unicast + MLA-multicast, across unicast
     demand levels. *)
 let ext_dual ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let problems =
-    gen_problems cfg ~ix:23
+    gen_problems pool cfg ~ix:23
       ~gen_cfg:{ Scenario_gen.paper_default with n_aps = 100; n_users = 200 }
   in
   let point demand =
     let samples =
-      List.map
-        (fun p ->
-          let demands = Mcast_core.Dual.uniform_demands p ~mbps:demand in
-          Mcast_core.Dual.compare_single_vs_dual ~objective:`Mla p ~demands)
-        problems
+      Pool.run pool
+      @@ List.map
+           (fun p () ->
+             let demands = Mcast_core.Dual.uniform_demands p ~mbps:demand in
+             Mcast_core.Dual.compare_single_vs_dual ~objective:`Mla p ~demands)
+           problems
     in
     {
       Series.x = demand;
@@ -617,10 +667,12 @@ let ext_dual ?(cfg = default_config) () =
 (** Protocol robustness: the DES query/response protocol under message
     loss — served users and passes to convergence. *)
 let ext_loss ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let n_scen = Int.min cfg.scenarios 10 in
   let point loss =
     let samples =
-      List.init n_scen (fun i ->
+      Pool.run pool
+      @@ List.init n_scen (fun i () ->
           let rng = Random.State.make [| cfg.seed + 3; i |] in
           let sc =
             Scenario_gen.generate ~rng
@@ -667,10 +719,12 @@ let ext_loss ?(cfg = default_config) () =
 (** Per-AP power control (§8): what coordinate descent buys as the
     interference weight grows. *)
 let ext_power ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let n_scen = Int.min cfg.scenarios 10 in
   let point mu =
     let samples =
-      List.init n_scen (fun i ->
+      Pool.run pool
+      @@ List.init n_scen (fun i () ->
           let rng = Random.State.make [| cfg.seed + 5; i |] in
           let sc =
             Scenario_gen.generate ~rng
@@ -716,9 +770,11 @@ let ext_power ?(cfg = default_config) () =
 (** 802.11a (Table 1, 12 channels) vs 802.11b (longer reach, 3 channels):
     the standards trade coverage against rate and channel diversity. *)
 let ext_standards ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let point (label_x, table, n_channels) =
     let samples =
-      List.init cfg.scenarios (fun i ->
+      Pool.run pool
+      @@ List.init cfg.scenarios (fun i () ->
           let rng = Random.State.make [| cfg.seed + 6; i |] in
           let sc =
             Scenario_gen.generate ~rng
@@ -764,10 +820,12 @@ let ext_standards ?(cfg = default_config) () =
 (** Mobility churn: users relocating between epochs; warm-started
     re-convergence cost. *)
 let ext_mobility ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let n_scen = Int.min cfg.scenarios 8 in
   let point fraction =
     let samples =
-      List.init n_scen (fun i ->
+      Pool.run pool
+      @@ List.init n_scen (fun i () ->
           let rng = Random.State.make [| cfg.seed + 4; i |] in
           let sc =
             Scenario_gen.generate ~rng
@@ -821,8 +879,9 @@ let ext_mobility ?(cfg = default_config) () =
 
 (** Distributed scheduler comparison: solution quality and rounds. *)
 let ablate_sched ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
   let problems =
-    gen_problems cfg ~ix:79
+    gen_problems pool cfg ~ix:79
       ~gen_cfg:{ Scenario_gen.paper_default with n_aps = 100; n_users = 200 }
   in
   let run sched p =
@@ -834,10 +893,10 @@ let ablate_sched ?(cfg = default_config) () =
     {
       Series.x;
       values =
-        [
-          ("total-load", Stats.summarize (List.map (quality sched) problems));
-          ("rounds", Stats.summarize (List.map (rounds sched) problems));
-        ];
+        eval_rows pool
+          ~algorithms:
+            [ ("total-load", quality sched); ("rounds", rounds sched) ]
+          problems;
     }
   in
   {
@@ -852,3 +911,33 @@ let ablate_sched ?(cfg = default_config) () =
         point 2. Distributed.Locked;
       ];
   }
+
+(** {1 Driver registry} — every figure driver by id, shared by the bench
+    harness and the [wlan-mcast figures] subcommand so the two front ends
+    cannot drift apart. *)
+
+let drivers : (string * (?cfg:config -> unit -> Series.figure)) list =
+  [
+    ("fig9a", fig9a);
+    ("fig9b", fig9b);
+    ("fig9c", fig9c);
+    ("fig10a", fig10a);
+    ("fig10b", fig10b);
+    ("fig10c", fig10c);
+    ("fig11", fig11);
+    ("fig12a", fig12a);
+    ("fig12b", fig12b);
+    ("fig12c", fig12c);
+    ("ablate-rate", ablate_rate);
+    ("ablate-bstar", ablate_bstar);
+    ("ablate-sched", ablate_sched);
+    ("ablate-bla-mode", ablate_bla_mode);
+    ("ablate-mla-alg", ablate_mla_alg);
+    ("ext-popularity", ext_popularity);
+    ("ext-interference", ext_interference);
+    ("ext-dual", ext_dual);
+    ("ext-loss", ext_loss);
+    ("ext-mobility", ext_mobility);
+    ("ext-power", ext_power);
+    ("ext-standards", ext_standards);
+  ]

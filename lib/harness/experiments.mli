@@ -8,8 +8,13 @@ type config = {
   small_scenarios : int;  (** scenarios per point for the ILP-bound Fig. 12 *)
   seed : int;
   ilp_node_limit : int;  (** branch-and-bound budget per exact solve *)
+  jobs : int;
+      (** domains fanning scenarios out through {!Pool} (1 = sequential).
+          Per-scenario RNG seeds are split from [seed] before dispatch, so
+          every driver returns bit-identical figures at any [jobs] value. *)
 }
 
+(** 40 scenarios, seed 2007, [jobs = 1]. *)
 val default_config : config
 
 (** {1 The paper's figures} *)
@@ -54,3 +59,9 @@ val ext_loss : ?cfg:config -> unit -> Series.figure
 val ext_mobility : ?cfg:config -> unit -> Series.figure
 val ext_power : ?cfg:config -> unit -> Series.figure
 val ext_standards : ?cfg:config -> unit -> Series.figure
+
+(** {1 Registry} *)
+
+(** Every figure driver by id ("fig9a" .. "ext-standards"), shared by the
+    front ends. *)
+val drivers : (string * (?cfg:config -> unit -> Series.figure)) list

@@ -1,0 +1,24 @@
+type key = string * Experiments.config
+
+type t = {
+  tbl : (key, Series.figure) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 16; hits = 0; misses = 0 }
+
+let get t ~cfg ~id compute =
+  let key = (id, cfg) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some f ->
+      t.hits <- t.hits + 1;
+      f
+  | None ->
+      t.misses <- t.misses + 1;
+      let f = compute () in
+      Hashtbl.replace t.tbl key f;
+      f
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,23 @@
+(** Memo table for figure drivers, keyed by [(figure id, config)].
+
+    The bench harness reuses figures across experiments in one invocation
+    (e.g. [headline] reuses [fig9a]/[fig10a]/[fig11]); keying by the full
+    config as well as the id guarantees that the same figure requested
+    under a different config — a [--quick] pass followed by a full one,
+    or a changed seed — is recomputed instead of silently served stale. *)
+
+type t
+
+val create : unit -> t
+
+(** [get t ~cfg ~id compute] returns the cached figure for [(id, cfg)],
+    or runs [compute ()], stores it, and returns it. *)
+val get :
+  t -> cfg:Experiments.config -> id:string -> (unit -> Series.figure) ->
+  Series.figure
+
+(** Batches served from / added to the table, for observability and the
+    regression test. *)
+val hits : t -> int
+
+val misses : t -> int

@@ -1,0 +1,44 @@
+(** Fixed-size domain pool for deterministic scenario fan-out.
+
+    A pool spawns its worker domains once at {!create} and reuses them for
+    every subsequent batch: {!run} submits a list of [unit -> 'a] jobs,
+    idle domains steal the next unclaimed job from the shared batch, and
+    results come back in submission order regardless of which domain ran
+    what — so a caller that derives any randomness from pre-split seeds
+    gets bit-identical output at every pool size.
+
+    With [jobs = 1] the pool spawns no domain at all and {!run} degrades
+    to an in-process [List.map], so sequential use pays nothing. *)
+
+type t
+
+(** [create ~jobs] spawns [jobs - 1] worker domains (the caller is the
+    remaining worker: it drains the batch alongside them during {!run}).
+    @raise Invalid_argument if [jobs < 1]. *)
+val create : jobs:int -> t
+
+(** Parallelism of the pool, including the calling domain ([>= 1]). *)
+val jobs : t -> int
+
+(** Number of worker domains actually spawned: [jobs t - 1], hence [0]
+    for a sequential pool. *)
+val domain_count : t -> int
+
+(** [run t fs] executes every job of [fs] and returns their results in
+    submission order. Jobs may run on any domain and in any order; if one
+    or more jobs raise, the exception of the earliest-submitted failing
+    job is re-raised in the caller (with its backtrace) after the batch
+    has drained. Not reentrant: a pool runs one batch at a time, and jobs
+    must not themselves call [run] on the same pool.
+    @raise Invalid_argument if the pool has been shut down. *)
+val run : t -> (unit -> 'a) list -> 'a list
+
+(** Terminate and join the worker domains. Idempotent; subsequent {!run}
+    calls raise [Invalid_argument]. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] = create, apply [f], always shut down. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+(** What [--jobs] should default to: [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int

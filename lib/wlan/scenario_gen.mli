@@ -42,6 +42,16 @@ val paper_small : config
 (** One random scenario drawn from [rng]. *)
 val generate : rng:Random.State.t -> config -> Scenario.t
 
+(** RNG for scenario [index] of the batch keyed by [seed]: a deterministic
+    split, so scenario [i] can be generated without (and concurrently
+    with) the scenarios before it. *)
+val scenario_rng : seed:int -> int -> Random.State.t
+
+(** [nth_problem ~seed ~index cfg] is [List.nth (problems ~seed ~n cfg) index]
+    for any [n > index], computed directly from {!scenario_rng}. *)
+val nth_problem : seed:int -> index:int -> config -> Problem.t
+
 (** [problems ~seed ~n cfg]: [n] independent problem instances from one
-    master seed (the paper averages over 40 such scenarios). *)
+    master seed (the paper averages over 40 such scenarios). Instance [i]
+    depends only on [(seed, i)] — see {!scenario_rng}. *)
 val problems : seed:int -> n:int -> config -> Problem.t list

@@ -14,6 +14,7 @@ let cfg =
     small_scenarios = 1;
     seed = 424242;
     ilp_node_limit = 200;
+    jobs = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -226,6 +227,65 @@ let test_fig12a_optimal_lower_bound () =
          let d = (List.assoc "MLA-distributed" values).Stats.mean in
          (not (Float.is_nan o)) && o <= c +. 1e-6 && o <= d +. 1e-6))
 
+(* ------------------------------------------------------------------ *)
+(* Figure cache: keyed by (id, cfg), never serves stale data           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig_cache_keyed_by_cfg () =
+  let cache = Fig_cache.create () in
+  let calls = ref 0 in
+  let get c id =
+    Fig_cache.get cache ~cfg:c ~id (fun () ->
+        incr calls;
+        fig_fixture)
+  in
+  let quick = { cfg with Experiments.scenarios = 1 } in
+  ignore (get cfg "fig9a");
+  ignore (get cfg "fig9a");
+  Alcotest.(check int) "same (id, cfg) served from cache" 1 !calls;
+  (* the bug this guards against: a --quick figure followed by the same
+     figure under the full config must recompute, not reuse stale data *)
+  ignore (get quick "fig9a");
+  Alcotest.(check int) "same id, different cfg recomputes" 2 !calls;
+  ignore (get cfg "fig10a");
+  Alcotest.(check int) "different id recomputes" 3 !calls;
+  Alcotest.(check int) "hits counted" 1 (Fig_cache.hits cache);
+  Alcotest.(check int) "misses counted" 3 (Fig_cache.misses cache)
+
+(* ------------------------------------------------------------------ *)
+(* Reproducibility: per-scenario seed splitting makes every figure     *)
+(* bit-identical at any jobs value                                     *)
+(* ------------------------------------------------------------------ *)
+
+let repro_cfg seed =
+  {
+    Experiments.scenarios = 2;
+    small_scenarios = 1;
+    seed;
+    ilp_node_limit = 200;
+    jobs = 1;
+  }
+
+(* structural equality catches the numbers; CSV equality is the
+   "byte-identical output" acceptance criterion *)
+let same_figure a b = a = b && String.equal (Report.to_csv a) (Report.to_csv b)
+
+let qcheck_repro name (driver : ?cfg:Experiments.config -> unit -> _) =
+  QCheck.Test.make ~name ~count:2
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let fig jobs = driver ~cfg:{ (repro_cfg seed) with jobs } () in
+      let f1 = fig 1 in
+      same_figure f1 (fig 2) && same_figure f1 (fig 4) && same_figure f1 (fig 1))
+
+let qcheck_repro_fig9a =
+  qcheck_repro "fig9a bit-identical under jobs 1/2/4 and reruns"
+    Experiments.fig9a
+
+let qcheck_repro_fig11 =
+  qcheck_repro "fig11 bit-identical under jobs 1/2/4 and reruns"
+    Experiments.fig11
+
 let qcheck_stats =
   QCheck.Test.make ~name:"summarize bounds: min <= mean <= max" ~count:200
     QCheck.(list_of_size Gen.(int_range 1 30) (float_range (-100.) 100.))
@@ -256,6 +316,12 @@ let () =
           tc "csv export" test_csv_export;
           tc "csv missing cells" test_csv_missing_series_cells;
           tc "table1 renders" test_table1_renders;
+        ] );
+      ("fig cache", [ tc "keyed by (id, cfg)" test_fig_cache_keyed_by_cfg ]);
+      ( "reproducibility",
+        [
+          QCheck_alcotest.to_alcotest qcheck_repro_fig9a;
+          QCheck_alcotest.to_alcotest qcheck_repro_fig11;
         ] );
       ( "figure shapes",
         [
