@@ -104,7 +104,9 @@ type comparison = {
 let compare_single_vs_dual ?(objective = `Mla) p ~demands =
   let single = combined p ~demands (single_association p) in
   let dual = combined p ~demands (plan ~objective p) in
-  let pct a b = if a = 0. then 0. else (a -. b) /. a *. 100. in
+  let pct a b =
+    if (a = 0.) [@lint.allow float_eq] then 0. else (a -. b) /. a *. 100.
+  in
   {
     single;
     dual;

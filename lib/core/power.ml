@@ -68,8 +68,8 @@ let evaluate ~channels ~mu p =
     until no AP improves [J] or [max_passes] is hit. *)
 let optimize ?(factors = default_factors) ?(mu = 0.1) ?(max_passes = 4)
     ~(channels : Channels.assignment) (sc : Scenario.t) =
-  if Array.length factors = 0 || factors.(0) <> 1.0 then
-    invalid_arg "Power.optimize: factors must start at 1.0";
+  if Array.length factors = 0 || (factors.(0) <> 1.0) [@lint.allow float_eq]
+  then invalid_arg "Power.optimize: factors must start at 1.0";
   let n_aps = Scenario.n_aps sc in
   let levels = Array.make n_aps 0 in
   let base_problem = problem_with_powers sc ~factors ~levels in

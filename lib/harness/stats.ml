@@ -17,11 +17,14 @@ let summarize = function
 (** Percentage by which [b] improves on [a] when lower is better:
     [(a - b) / a * 100]. *)
 let pct_reduction ~baseline ~improved =
-  if baseline = 0. then 0. else (baseline -. improved) /. baseline *. 100.
+  (* exact zero guards a division, not a tolerance decision *)
+  if (baseline = 0.) [@lint.allow float_eq] then 0.
+  else (baseline -. improved) /. baseline *. 100.
 
 (** Percentage by which [b] improves on [a] when higher is better:
     [(b - a) / a * 100]. *)
 let pct_gain ~baseline ~improved =
-  if baseline = 0. then 0. else (improved -. baseline) /. baseline *. 100.
+  if (baseline = 0.) [@lint.allow float_eq] then 0.
+  else (improved -. baseline) /. baseline *. 100.
 
 let pp_summary ppf s = Fmt.pf ppf "%.4f (%.4f..%.4f)" s.mean s.min s.max

@@ -65,6 +65,7 @@ let solve ?(node_limit = 200_000) ?initial_bound ?(integral_objective = false)
       | None, Some c -> c
       | None, None -> if maximize then neg_infinity else infinity
     in
+    (* lint: allow float-eq — "no bound yet" is the exact infinity sentinel *)
     if target = (if maximize then neg_infinity else infinity) then false
     else if integral_objective then
       if maximize then Float.round (lp_obj -. 0.5 +. 1e-6) <= target +. 1e-9
@@ -81,7 +82,9 @@ let solve ?(node_limit = 200_000) ?initial_bound ?(integral_objective = false)
           [
             t.base.constraints;
             Array.of_list
-              (Hashtbl.fold (fun j () acc -> row_upper n j :: acc) lazy_bounds []);
+              (Hashtbl.fold (fun j () acc -> j :: acc) lazy_bounds []
+              |> List.sort Int.compare
+              |> List.map (row_upper n));
             Array.of_list (List.map (fun (j, v) -> row_fixing n j v) fixings);
           ]
       in

@@ -8,7 +8,7 @@
     score. Each set is re-scored O(log) amortized times instead of rescanning
     all sets every round. *)
 
-type 'a entry = { mutable prio : float; value : 'a }
+type 'a entry = { prio : float; value : 'a }
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -72,7 +72,7 @@ let rec pop_max t ~revalidate =
   else begin
     let top = pop_top t in
     let fresh = revalidate top.value in
-    if fresh = neg_infinity then pop_max t ~revalidate
+    if (fresh = neg_infinity) [@lint.allow float_eq] then pop_max t ~revalidate
     else if fresh >= top.prio -. 1e-12 then Some (top.value, fresh)
     else begin
       push t ~prio:fresh top.value;

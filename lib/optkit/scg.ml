@@ -87,7 +87,8 @@ let default_grid ?(n_guesses = 12) ?universe inst =
   let lo =
     Bitset.fold
       (fun e acc ->
-        if min_cost.(e) = infinity then acc else Float.max acc min_cost.(e))
+        if (min_cost.(e) = infinity) [@lint.allow float_eq] then acc
+        else Float.max acc min_cost.(e))
       u 0.
   in
   let lo = Float.max (Float.min lo 1.) 1e-6 in

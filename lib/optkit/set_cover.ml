@@ -112,7 +112,7 @@ let layered ?universe inst =
         if k > 0 then t := Float.min !t (residual.(j) /. float_of_int k)
       end
     done;
-    if !t = infinity then continue := false
+    if (!t = infinity) [@lint.allow float_eq] then continue := false
     else begin
       (* charge the layer; exhausted sets are picked *)
       let picked_this_layer = ref [] in
@@ -223,7 +223,9 @@ let lower_bound inst x' =
     end
   done;
   Bitset.fold
-    (fun e acc -> if best.(e) = infinity then infinity else acc +. best.(e))
+    (fun e acc ->
+      if (best.(e) = infinity) [@lint.allow float_eq] then infinity
+      else acc +. best.(e))
     x' 0.
 
 (** Exact weighted set cover by branch and bound. Branches on an uncovered

@@ -65,7 +65,12 @@ type response = {
 
 let ap_answer st ~session_rates ~budget ~user =
   let tbl = ap_tx_table st in
-  let sessions = Hashtbl.fold (fun s tx acc -> (s, tx) :: acc) tbl [] in
+  (* sorted by session id: the advertisement must not leak Hashtbl bucket
+     order, or two APs with identical members could answer differently *)
+  let sessions =
+    Hashtbl.fold (fun s tx acc -> (s, tx) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
   let is_member = List.exists (fun (u, _, _) -> u = user) st.members in
   {
     from_ap = st.ap_id;

@@ -18,7 +18,9 @@ let tx_rates p (assoc : Association.t) =
     if a <> Association.none then begin
       let s = Problem.user_session p u in
       let r = Problem.link_rate p ~ap:a ~user:u in
-      if tx.(a).(s) = 0. || r < tx.(a).(s) then tx.(a).(s) <- r
+      (* 0. is the exact "no member yet" sentinel written two lines up *)
+      if (tx.(a).(s) = 0.) [@lint.allow float_eq] || r < tx.(a).(s) then
+        tx.(a).(s) <- r
     end
   done;
   tx
@@ -44,7 +46,7 @@ let ap_load p assoc ~ap =
     if assoc.(u) = ap then begin
       let s = Problem.user_session p u in
       let r = Problem.link_rate p ~ap ~user:u in
-      if tx.(s) = 0. || r < tx.(s) then tx.(s) <- r
+      if (tx.(s) = 0.) [@lint.allow float_eq] || r < tx.(s) then tx.(s) <- r
     end
   done;
   load_of_tx p tx

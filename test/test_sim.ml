@@ -326,6 +326,49 @@ let test_ap_answer_fields () =
   Alcotest.(check (option (float 1e-9))) "stranger" None
     r'.Proto.load_without_you
 
+(* The advertised session list must depend only on the member *set*, never
+   on the order users joined (it is built through a Hashtbl, whose bucket
+   order is unspecified): a user that queries two APs with identical
+   members must see identical advertisements. *)
+let prop_proto_answer_order_independent =
+  let n_sessions = 24 in
+  let gen_members =
+    QCheck.Gen.(
+      list_size (int_range 2 40)
+        (triple (int_range 0 100)
+           (int_range 0 (n_sessions - 1))
+           (oneofl [ 6.; 12.; 24.; 54. ])))
+  in
+  QCheck.Test.make
+    ~name:"AP session advertisement is insertion-order independent" ~count:200
+    (QCheck.make gen_members)
+    (fun members ->
+      (* one entry per user: ap_join ignores re-joins of a known user *)
+      let members =
+        List.fold_left
+          (fun acc ((u, _, _) as m) ->
+            if List.exists (fun (u', _, _) -> u' = u) acc then acc
+            else m :: acc)
+          [] members
+      in
+      let rates = Array.make n_sessions 1. in
+      let answer ms =
+        let st = Proto.ap_create 0 in
+        List.iter
+          (fun (u, s, r) -> Proto.ap_join st ~user:u ~session:s ~link_rate:r)
+          ms;
+        Proto.ap_answer st ~session_rates:rates ~budget:0.9 ~user:(-1)
+      in
+      let sorted_by_session l =
+        List.sort (fun (a, _) (b, _) -> Int.compare a b) l
+      in
+      let a = answer members and b = answer (List.rev members) in
+      (* identical member sets => identical advertisements, and the
+         advertisement is in canonical (session-sorted) order *)
+      a.Proto.sessions = b.Proto.sessions
+      && a.Proto.sessions = sorted_by_session a.Proto.sessions
+      && feq a.Proto.load b.Proto.load)
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end runs                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -501,6 +544,7 @@ let qcheck_cases =
       prop_sim_measured_close_to_analytic;
       prop_sim_static_installs;
       prop_sim_deterministic;
+      prop_proto_answer_order_independent;
     ]
 
 let () =

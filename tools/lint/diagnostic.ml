@@ -1,0 +1,64 @@
+(** A single lint finding, anchored to a source location.
+
+    [off] is the byte offset of the finding inside its file; it exists so
+    that suppression spans (attribute ranges collected from the AST) can
+    be intersected with findings without re-deriving positions, and so
+    that output order is a total, stable order even when two findings
+    share a line. *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["no-ambient-rng"] *)
+  file : string;  (** path as given to the engine *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler convention *)
+  off : int;  (** byte offset of [loc_start] within the file *)
+  message : string;
+}
+
+let make ~rule ~file ~(loc : Location.t) message =
+  let p = loc.loc_start in
+  {
+    rule;
+    file;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    off = p.pos_cnum;
+    message;
+  }
+
+(** Stable output order: file, then position, then rule id. *)
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.off b.off with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
+
+let pp_text ppf d =
+  Format.fprintf ppf "%s:%d:%d [%s] %s" d.file d.line d.col d.rule d.message
+
+let to_text d = Format.asprintf "%a" pp_text d
+
+(* Minimal JSON string escaping: we control every message, so only the
+   structural characters and control bytes need care. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let pp_json ppf d =
+  Format.fprintf ppf
+    {|{"file":"%s","line":%d,"col":%d,"rule":"%s","message":"%s"}|}
+    (json_escape d.file) d.line d.col (json_escape d.rule)
+    (json_escape d.message)

@@ -1,0 +1,87 @@
+(** Driving the rules over files: parsing with compiler-libs, path
+    classification, suppression filtering, directory walking. *)
+
+let classify path =
+  let segs = String.split_on_char '/' path in
+  let in_lib = List.mem "lib" segs in
+  let base = Filename.basename path in
+  {
+    Rules.path;
+    in_lib;
+    print_exempt = in_lib && (base = "report.ml" || base = "trace.ml");
+  }
+
+let parse_implementation ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  Location.input_name := path;
+  Parse.implementation lexbuf
+
+type error = { file : string; message : string }
+
+(** Lint one already-read source. [Error _] means the file does not
+    parse — a build would fail too, but the linter must not crash. *)
+let lint_source ?(rules = Rules.all) ~path src =
+  match parse_implementation ~path src with
+  | exception exn -> (
+      match Location.error_of_exn exn with
+      | Some (`Ok report) ->
+          Error
+            {
+              file = path;
+              message = Format.asprintf "%a" Location.print_report report;
+            }
+      | _ -> Error { file = path; message = Printexc.to_string exn })
+  | str ->
+      let ctx = classify path in
+      let diags = List.concat_map (fun (r : Rules.t) -> r.check ctx str) rules in
+      let spans = Suppress.allow_spans str in
+      let directives = Suppress.comment_directives src in
+      Ok (List.sort Diagnostic.compare (Suppress.filter ~spans ~directives diags))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?rules path = lint_source ?rules ~path (read_file path)
+
+(** Every [.ml] under [roots] (files are taken as-is), skipping [_build]
+    and dot-directories, in sorted order. *)
+let discover roots =
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun entry ->
+             if entry <> "_build" && not (String.length entry > 0 && entry.[0] = '.')
+             then walk (Filename.concat path entry))
+    else if Filename.check_suffix path ".ml" then acc := path :: !acc
+  in
+  List.iter (fun r -> if Sys.file_exists r then walk r) roots;
+  List.rev !acc
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+type result = {
+  files : int;
+  diagnostics : Diagnostic.t list;
+  errors : error list;
+}
+
+let lint_roots ?rules roots =
+  let files = discover roots in
+  let diagnostics, errors =
+    List.fold_left
+      (fun (ds, es) f ->
+        match lint_file ?rules f with
+        | Ok d -> (d :: ds, es)
+        | Error e -> (ds, e :: es))
+      ([], []) files
+  in
+  {
+    files = List.length files;
+    diagnostics = List.sort Diagnostic.compare (List.concat diagnostics);
+    errors = List.rev errors;
+  }

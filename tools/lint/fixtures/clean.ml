@@ -1,0 +1,19 @@
+(* Negative fixture: idiomatic repo code that every rule must accept. *)
+
+let mean xs =
+  List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let pick st xs = List.nth xs (Random.State.int st (List.length xs))
+
+let histogram xs =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      Hashtbl.replace tbl x (1 + Option.value ~default:0 (Hashtbl.find_opt tbl x)))
+    xs;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fan_out pool seeds = Pool.run pool (List.map (fun s () -> s + 1) seeds)

@@ -1,0 +1,14 @@
+(* R1 fixture: ambient RNG taps are errors; split Random.State is fine.
+   Parse-only — this file is lint fodder, never compiled. *)
+
+let bad_jitter () = Random.float 1.0
+
+let bad_setup () =
+  Random.self_init ();
+  Random.int 10
+
+let bad_indirect = Stdlib.Random.bool
+
+let ok_split st = Random.State.float st 1.0
+
+let ok_make seed tag i = Random.State.make [| seed; tag; i |]

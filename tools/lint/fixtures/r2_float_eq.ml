@@ -1,0 +1,20 @@
+(* R2 fixture: structural comparison on syntactically-float operands,
+   plus both suppression forms. Parse-only. *)
+
+let bad_literal x = x = 3.14
+let bad_arith a b = a +. b <> 1.0
+let bad_call a = compare (float_of_int a) 0.5
+let bad_sentinel x = x = infinity
+let bad_module_fn a b = Float.max a b = 0.
+
+let ok_annotated baseline = (baseline = 0.) [@lint.allow float_eq]
+
+let ok_comment_same_line baseline =
+  baseline = 0. (* lint: allow float-eq *)
+
+let ok_comment_prev_line baseline =
+  (* lint: allow float_eq *)
+  baseline = 0.
+
+let ok_int a b = a = b
+let ok_tolerant a b = Float.abs (a -. b) <= 1e-9

@@ -1,0 +1,37 @@
+(* R4 fixture: shared mutable state captured by closures shipped to the
+   domain pool. Parse-only — Pool here stands in for Harness.Pool. *)
+
+let bad_counter pool jobs =
+  let hits = ref 0 in
+  Pool.run pool
+    (List.map
+       (fun j () ->
+         incr hits;
+         j)
+       jobs)
+
+let bad_table pool jobs =
+  let seen = Hashtbl.create 16 in
+  Pool.run pool (List.map (fun j () -> Hashtbl.replace seen j j) jobs)
+
+let bad_buffer pool lines =
+  let out = Buffer.create 64 in
+  Harness.Pool.map (fun l -> Buffer.add_string out l) lines
+
+let ok_atomic pool jobs =
+  let hits = Atomic.make 0 in
+  Pool.run pool
+    (List.map
+       (fun j () ->
+         Atomic.incr hits;
+         j)
+       jobs)
+
+let ok_presplit pool seeds = Pool.run pool (List.map (fun s () -> s * 2) seeds)
+
+let ok_outside pool jobs =
+  (* the ref is used before dispatch, never inside a shipped closure *)
+  let n = ref 0 in
+  n := List.length jobs;
+  ignore !n;
+  Pool.run pool (List.map (fun j () -> j) jobs)

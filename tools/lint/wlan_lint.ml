@@ -1,0 +1,85 @@
+(* wlan-lint: static invariant checker for this repository.
+
+   Parses every .ml under the given roots (default: lib bin bench
+   examples) with compiler-libs and runs the repo-specific rules of
+   Wlan_lint_kernel.Rules. Exit status: 0 clean, 1 findings, 2 parse
+   or usage errors. *)
+
+open Wlan_lint_kernel
+
+let usage =
+  "wlan-lint [options] [path ...]\n\
+   Static invariant checks for the wlan_mcast tree (DESIGN.md §4.6).\n\
+   Paths may be files or directories; default: lib bin bench examples."
+
+let () =
+  let format = ref `Text in
+  let enabled = ref [] in
+  let disabled = ref [] in
+  let paths = ref [] in
+  let list_rules = ref false in
+  let quiet = ref false in
+  let spec =
+    [
+      ( "--format",
+        Arg.Symbol
+          ( [ "text"; "json" ],
+            fun s -> format := if s = "json" then `Json else `Text ),
+        " output format (default text)" );
+      ( "--rule",
+        Arg.String (fun r -> enabled := r :: !enabled),
+        "<id> run only this rule (repeatable)" );
+      ( "--disable",
+        Arg.String (fun r -> disabled := r :: !disabled),
+        "<id> skip this rule (repeatable)" );
+      ("--list-rules", Arg.Set list_rules, " print the rule registry and exit");
+      ("--quiet", Arg.Set quiet, " suppress the trailing summary line");
+    ]
+  in
+  Arg.parse (Arg.align spec) (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Rules.t) -> Printf.printf "%-16s %s\n" r.id r.doc)
+      Rules.all;
+    exit 0
+  end;
+  let bad_id id =
+    Printf.eprintf "wlan-lint: unknown rule %S (try --list-rules)\n" id;
+    exit 2
+  in
+  List.iter
+    (fun id -> if Rules.find id = None then bad_id id)
+    (!enabled @ !disabled);
+  let rules =
+    Rules.all
+    |> List.filter (fun (r : Rules.t) ->
+           (!enabled = [] || List.mem r.id !enabled)
+           && not (List.mem r.id !disabled))
+  in
+  let roots = if !paths = [] then Engine.default_roots else List.rev !paths in
+  let res = Engine.lint_roots ~rules roots in
+  (match !format with
+  | `Text ->
+      List.iter
+        (fun d -> print_endline (Diagnostic.to_text d))
+        res.diagnostics;
+      List.iter
+        (fun (e : Engine.error) ->
+          Printf.printf "%s: parse error\n%s\n" e.file e.message)
+        res.errors;
+      if not !quiet then
+        Printf.printf "wlan-lint: %d file(s), %d finding(s), %d parse error(s)\n"
+          res.files
+          (List.length res.diagnostics)
+          (List.length res.errors)
+  | `Json ->
+      print_string "[";
+      List.iteri
+        (fun i d ->
+          if i > 0 then print_string ",";
+          print_string (Format.asprintf "%a" Diagnostic.pp_json d))
+        res.diagnostics;
+      print_endline "]");
+  if res.errors <> [] then exit 2
+  else if res.diagnostics <> [] then exit 1
+  else exit 0
