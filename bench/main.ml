@@ -21,20 +21,34 @@ let known =
     "ext-standards";
   ]
 
+(* Wall-clock source: CLOCK_MONOTONIC (via bechamel's stub), immune to
+   NTP steps and wall-clock jumps that would skew or negate the speedup
+   footers gettimeofday used to produce. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
+(* When --bench-json is active every timing we print is also recorded
+   here, to be written out as a Bench_json snapshot at exit. *)
+let bench_entries : Harness.Bench_json.entry list ref = ref []
+
+let record_entry name ~wall ~cpu =
+  bench_entries :=
+    { Harness.Bench_json.name; wall_s = wall; cpu_s = cpu } :: !bench_entries
+
 (* Per-figure report footer: wall clock, process CPU time (all domains),
    and their ratio — the observable parallel speedup. Sys.time sums the
    CPU time of every domain, so cpu/wall ~ 1 when sequential and ~ jobs
    when the fan-out scales. *)
 let timed ~jobs name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let c0 = Sys.time () in
   let r = f () in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = now_s () -. t0 in
   let cpu = Sys.time () -. c0 in
   Fmt.pr "[%s: %.1fs wall, %.1fs cpu, %.2fx parallel speedup, jobs=%d]@." name
     wall cpu
     (if wall > 0. then cpu /. wall else 1.)
     jobs;
+  record_entry ("exp:" ^ name) ~wall ~cpu;
   r
 
 (* Figures are cached so `headline` can reuse fig9a/fig10a/fig11 when both
@@ -130,7 +144,9 @@ let bechamel_run ~header tests =
     (fun (name, ols) ->
       let est =
         match Analyze.OLS.estimates ols with
-        | Some (t :: _) -> Fmt.str "%12.0f ns/run" t
+        | Some (t :: _) ->
+            record_entry ("bechamel:" ^ name) ~wall:(t /. 1e9) ~cpu:0.;
+            Fmt.str "%12.0f ns/run" t
         | _ -> "          (n/a)"
       in
       let r2 =
@@ -211,6 +227,78 @@ let bechamel_pool ~jobs () =
   Harness.Pool.shutdown pool
 
 (* ------------------------------------------------------------------ *)
+(* Per-algorithm wall times for the bench-json snapshot                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One entry per (algorithm, scale): median of [reps] single solves on a
+   fixed seed-99 topology, recorded as "alg:<name>@<aps>x<users>". The
+   scales bracket the paper's evaluation: the ablation scale (100 APs,
+   200 users) and the fig9 scale (200 APs, 400 users). *)
+let algorithm_timings ~quick () =
+  let module C = Mcast_core in
+  let algorithms =
+    [
+      ("ssa", fun p -> ignore (C.Ssa.run p));
+      ("mla-centralized", fun p -> ignore (C.Mla.run p));
+      ("mla-distributed", fun p -> ignore (C.Distributed.mla p));
+      ("bla-centralized-soft", fun p -> ignore (C.Bla.run_exn ~mode:`Soft p));
+      ("bla-centralized-hard", fun p -> ignore (C.Bla.run_exn ~mode:`Hard p));
+      ("bla-distributed", fun p -> ignore (C.Distributed.bla p));
+      ( "mnu-centralized",
+        fun p -> ignore (C.Mnu.run (Wlan_model.Problem.with_budget p 0.05)) );
+      ( "mnu-distributed",
+        fun p ->
+          ignore (C.Distributed.mnu (Wlan_model.Problem.with_budget p 0.05)) );
+      (* opt-in fast paths from this PR; no counterpart in older
+         baselines, so they show up without a speedup ratio *)
+      ( "bla-centralized-soft-bisect",
+        fun p -> ignore (C.Bla.run_exn ~mode:`Soft ~strategy:`Bisect p) );
+      ( "bla-centralized-soft-lazy",
+        fun p -> ignore (C.Bla.run_exn ~mode:`Soft ~engine:`Lazy p) );
+      ( "mnu-centralized-lazy",
+        fun p ->
+          ignore
+            (C.Mnu.run ~engine:`Lazy (Wlan_model.Problem.with_budget p 0.05))
+      );
+    ]
+  in
+  let pool_algorithms pool =
+    [
+      ( "bla-centralized-soft-pool",
+        fun p ->
+          ignore (C.Bla.run_exn ~mode:`Soft ~fanout:(Harness.Pool.run pool) p)
+      );
+    ]
+  in
+  let scales = if quick then [ (100, 200) ] else [ (100, 200); (200, 400) ] in
+  let reps = if quick then 1 else 3 in
+  Harness.Pool.with_pool ~jobs:(Harness.Pool.default_jobs ()) @@ fun pool ->
+  let algorithms = algorithms @ pool_algorithms pool in
+  List.iter
+    (fun (n_aps, n_users) ->
+      let p =
+        List.hd
+          (Wlan_model.Scenario_gen.problems ~seed:99 ~n:1
+             { Wlan_model.Scenario_gen.paper_default with n_aps; n_users })
+      in
+      List.iter
+        (fun (name, solve) ->
+          solve p (* warm *);
+          let samples =
+            List.init reps (fun _ ->
+                let t0 = now_s () and c0 = Sys.time () in
+                solve p;
+                (now_s () -. t0, Sys.time () -. c0))
+          in
+          let sorted = List.sort compare samples in
+          let wall, cpu = List.nth sorted (reps / 2) in
+          let id = Fmt.str "alg:%s@%dx%d" name n_aps n_users in
+          Fmt.pr "%-44s %8.1f ms@." id (wall *. 1e3);
+          record_entry id ~wall ~cpu)
+        algorithms)
+    scales
+
+(* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -268,7 +356,67 @@ let bechamel_arg =
     value & flag
     & info [ "bechamel" ] ~doc:"Also run Bechamel micro-benchmarks.")
 
-let main names scenarios small seed node_limit jobs quick csv bech =
+let bench_json_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "BENCH_PR3.json") (some string) None
+    & info [ "bench-json" ] ~docv:"FILE"
+        ~doc:
+          "Write a performance snapshot (experiment wall times, \
+           per-algorithm solve times, bechamel estimates when --bechamel \
+           is also given) as JSON to $(docv) (default: BENCH_PR3.json).")
+
+let bench_baseline_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench-baseline" ] ~docv:"FILE"
+        ~doc:
+          "A previous --bench-json snapshot to embed as the baseline; \
+           speedup ratios are derived for entries present in both.")
+
+let bench_label_arg =
+  Arg.(
+    value & opt string "PR3"
+    & info [ "bench-label" ] ~docv:"LABEL"
+        ~doc:"Label stored in the --bench-json snapshot.")
+
+let write_bench_json ~path ~label ~baseline_path ~jobs ~quick ~seed =
+  let baseline =
+    match baseline_path with
+    | None -> None
+    | Some f ->
+        let ic = open_in f in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        let parsed = Harness.Bench_json.parse s in
+        if parsed = None then
+          Fmt.epr "warning: %s is not a bench-json snapshot, ignoring@." f;
+        parsed
+  in
+  let snapshot =
+    {
+      Harness.Bench_json.label;
+      jobs;
+      quick;
+      seed;
+      entries = List.rev !bench_entries;
+    }
+  in
+  let oc = open_out path in
+  output_string oc (Harness.Bench_json.render ?baseline snapshot);
+  close_out oc;
+  Fmt.pr "[bench-json: %s]@." path;
+  match baseline with
+  | None -> ()
+  | Some b ->
+      List.iter
+        (fun (name, ratio) -> Fmt.pr "%-44s %6.2fx vs %s@." name ratio b.label)
+        (Harness.Bench_json.speedups ~baseline:b.entries ~current:snapshot)
+
+let main names scenarios small seed node_limit jobs quick csv bech bench_json
+    bench_baseline bench_label =
   csv_dir := csv;
   let jobs = Int.max 1 jobs in
   let cfg =
@@ -293,14 +441,20 @@ let main names scenarios small seed node_limit jobs quick csv bech =
   in
   Fmt.pr "wlan-mcast benchmark harness: %d scenarios/point, seed %d, %d jobs@."
     cfg.Harness.Experiments.scenarios cfg.Harness.Experiments.seed jobs;
-  let t0 = Unix.gettimeofday () in
+  let t0 = now_s () in
   let c0 = Sys.time () in
   List.iter (run_experiment cfg) names;
   if bech then begin
     bechamel_algorithms ();
     bechamel_pool ~jobs ()
   end;
-  let wall = Unix.gettimeofday () -. t0 in
+  (match bench_json with
+  | None -> ()
+  | Some path ->
+      algorithm_timings ~quick ();
+      write_bench_json ~path ~label:bench_label ~baseline_path:bench_baseline
+        ~jobs ~quick ~seed);
+  let wall = now_s () -. t0 in
   Fmt.pr "@.total wall time: %.1fs (cpu %.1fs, %.2fx, jobs=%d)@." wall
     (Sys.time () -. c0)
     (if wall > 0. then (Sys.time () -. c0) /. wall else 1.)
@@ -314,6 +468,7 @@ let cmd =
           association-control paper")
     Term.(
       const main $ experiments_arg $ scenarios_arg $ small_arg $ seed_arg
-      $ node_limit_arg $ jobs_arg $ quick_arg $ csv_arg $ bechamel_arg)
+      $ node_limit_arg $ jobs_arg $ quick_arg $ csv_arg $ bechamel_arg
+      $ bench_json_arg $ bench_baseline_arg $ bench_label_arg)
 
 let () = exit (Cmd.eval cmd)

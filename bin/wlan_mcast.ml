@@ -328,7 +328,7 @@ let example_cmd =
     Fmt.pr "Figure 1 at 3 Mbps (MNU regime):@.";
     List.iter
       (fun (n, f) -> Fmt.pr "  %-18s %a@." n Solution.pp (f heavy))
-      [ ("ssa", Ssa.run); ("mnu", Mnu.run);
+      [ ("ssa", Ssa.run); ("mnu", fun p -> Mnu.run p);
         ("mnu-distributed", fun p -> fst (Distributed.mnu p)) ];
     Fmt.pr "Figure 1 at 1 Mbps (BLA/MLA regime):@.";
     List.iter

@@ -31,12 +31,21 @@ let solution_of_scg p inst (r : Optkit.Scg.result) =
     (default 12). Returns [None] when some coverable user cannot be covered
     within any [B* <= 1] (never happens with budgets at the paper's 0.9 and
     coverable users, since serving one user costs at most
-    [session_rate / basic_rate]). *)
-let run ?(mode = `Soft) ?(n_guesses = 12) p =
+    [session_rate / basic_rate]).
+
+    [engine], [strategy] and [fanout] pass through to
+    {!Optkit.Scg.solve_grid}: [fanout] parallelizes the grid with an
+    identical result; [`Bisect] prunes it to O(log) guesses but then
+    ranks realized loads over only the evaluated runs. Defaults preserve
+    the recorded experiment outputs bit-for-bit. *)
+let run ?(mode = `Soft) ?engine ?strategy ?fanout ?(n_guesses = 12) p =
   let inst = Reduction.cover_instance p in
   let universe = Reduction.coverable_users p in
   let grid = Optkit.Scg.default_grid ~n_guesses ~universe inst in
-  let feasible = Optkit.Scg.solve_grid ~mode inst ~universe ~grid () in
+  let feasible =
+    Optkit.Scg.solve_grid ~mode ?engine ?strategy ?fanout inst ~universe ~grid
+      ()
+  in
   match feasible with
   | [] -> None
   | runs ->
@@ -54,7 +63,7 @@ let run ?(mode = `Soft) ?(n_guesses = 12) p =
       Some best
 
 (** [run_exn] for instances known feasible (raises otherwise). *)
-let run_exn ?mode ?n_guesses p =
-  match run ?mode ?n_guesses p with
+let run_exn ?mode ?engine ?strategy ?fanout ?n_guesses p =
+  match run ?mode ?engine ?strategy ?fanout ?n_guesses p with
   | Some s -> s
   | None -> failwith "Bla.run: no feasible B* found"

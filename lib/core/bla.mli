@@ -10,9 +10,20 @@
 
 val name : string
 
-(** [None] when no [B* <= 1] covers every coverable user. *)
+(** [None] when no [B* <= 1] covers every coverable user.
+
+    [engine], [strategy] and [fanout] pass through to
+    {!Optkit.Scg.solve_grid}: [fanout] (e.g. [Harness.Pool.run pool])
+    parallelizes the [B*] grid with a bit-identical result; [`Bisect]
+    prunes the grid to O(log) evaluations, ranking realized loads over
+    only those runs. The defaults reproduce the recorded experiment
+    outputs bit-for-bit. *)
 val run :
   ?mode:[ `Soft | `Hard ] ->
+  ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?strategy:[ `Exhaustive | `Bisect ] ->
+  ?fanout:
+    ((unit -> Optkit.Scg.result) list -> Optkit.Scg.result list) ->
   ?n_guesses:int ->
   Wlan_model.Problem.t ->
   Solution.t option
@@ -20,6 +31,10 @@ val run :
 (** @raise Failure when {!run} returns [None]. *)
 val run_exn :
   ?mode:[ `Soft | `Hard ] ->
+  ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?strategy:[ `Exhaustive | `Bisect ] ->
+  ?fanout:
+    ((unit -> Optkit.Scg.result) list -> Optkit.Scg.result list) ->
   ?n_guesses:int ->
   Wlan_model.Problem.t ->
   Solution.t

@@ -47,53 +47,50 @@ type outcome = {
 }
 
 
-(* Hypothetical load of neighbor AP [b] if [user] moves from [old_ap] to
-   [new_ap]; [loads] caches current loads of unaffected APs. *)
-let hypothetical_load p assoc ~loads ~user ~old_ap ~new_ap b =
-  if b = new_ap then Loads.load_if_joins p assoc ~user ~ap:b
-  else if b = old_ap then Loads.load_if_leaves p assoc ~user ~ap:b
-  else loads.(b)
-
-(* Objective value of user [u]'s neighborhood after a hypothetical move.
-   Total-load objective: scalar sum boxed in a 1-element array so both
-   objectives compare via lexicographic vector order. *)
-let eval p assoc ~loads ~objective ~user ~neighbors ~old_ap ~new_ap =
-  let neighborhood =
-    List.map
-      (fun b -> hypothetical_load p assoc ~loads ~user ~old_ap ~new_ap b)
-      neighbors
-  in
-  match objective with
-  | Min_total_load -> [| List.fold_left ( +. ) 0. neighborhood |]
-  | Min_load_vector -> Loads.sorted_load_vector (Array.of_list neighborhood)
-
 let vec_lt a b = Loads.compare_load_vectors_eps a b < 0
 let vec_approx_equal a b =
   Array.length a = Array.length b && Loads.compare_load_vectors_eps a b = 0
 
-(** The local decision of user [u]: [Some ap] when [u] should (re)associate
-    with [ap], [None] to stay put. [loads] must be the current AP loads. *)
-let decide p assoc ~loads ~objective u =
-  let neighbors = Problem.neighbor_aps p u in
+(* The local decision rule, abstracted over how hypothetical and current
+   loads are obtained. [if_joins]/[if_leaves] answer "what would AP [ap]'s
+   load be if [user] joined / left"; [load] is the current load of an
+   unaffected AP. Both the eager array-scanning queries and the
+   incremental {!Loads.Tracker} queries compute bit-identical floats, so
+   the decision is the same under either backend. *)
+let decide_with p ~neighbors ~current ~if_joins ~if_leaves ~load ~objective u =
   match neighbors with
   | [] -> None
   | _ ->
-      let current = assoc.(u) in
       let old_ap = current in
+      (* Hypothetical load of neighbor [b] if [u] moves to [new_ap]. *)
+      let hypothetical new_ap b =
+        if b = new_ap then if_joins ~user:u ~ap:b
+        else if b = old_ap then if_leaves ~user:u ~ap:b
+        else load b
+      in
+      (* Objective value of the neighborhood after a hypothetical move.
+         Total-load objective: scalar sum boxed in a 1-element array so
+         both objectives compare via lexicographic vector order; the fold
+         adds the hypotheticals in neighbor order, exactly as the mapped
+         list it replaces did. *)
+      let eval new_ap =
+        match objective with
+        | Min_total_load ->
+            [|
+              List.fold_left
+                (fun acc b -> acc +. hypothetical new_ap b)
+                0. neighbors;
+            |]
+        | Min_load_vector ->
+            Loads.sorted_load_vector
+              (Array.of_list (List.map (hypothetical new_ap) neighbors))
+      in
       let feasible a =
         a = current
-        || Loads.load_if_joins p assoc ~user:u ~ap:a
-           <= Problem.ap_budget p a +. 1e-12
+        || if_joins ~user:u ~ap:a <= Problem.ap_budget p a +. 1e-12
       in
       let candidates = List.filter feasible neighbors in
-      let scored =
-        List.map
-          (fun a ->
-            ( a,
-              eval p assoc ~loads ~objective ~user:u ~neighbors ~old_ap
-                ~new_ap:a ))
-          candidates
-      in
+      let scored = List.map (fun a -> (a, eval a)) candidates in
       (match scored with
       | [] -> None
       | _ ->
@@ -115,29 +112,73 @@ let decide p assoc ~loads ~objective u =
             Some best_ap
           else if best_ap <> current then begin
             (* served: move only on strict improvement over staying *)
-            let stay_v =
-              eval p assoc ~loads ~objective ~user:u ~neighbors ~old_ap
-                ~new_ap:current
-            in
+            let stay_v = eval current in
             if vec_lt best_v stay_v then Some best_ap else None
           end
           else None)
 
-let apply p assoc loads ~user ~ap =
-  let old_ap = assoc.(user) in
-  assoc.(user) <- ap;
-  loads.(ap) <- Loads.ap_load p assoc ~ap;
-  if old_ap <> Association.none && old_ap <> ap then
-    loads.(old_ap) <- Loads.ap_load p assoc ~ap:old_ap
+(** The local decision of user [u]: [Some ap] when [u] should (re)associate
+    with [ap], [None] to stay put. [loads] must be the current AP loads. *)
+let decide p assoc ~loads ~objective u =
+  decide_with p ~neighbors:(Problem.neighbor_aps p u) ~current:assoc.(u)
+    ~if_joins:(fun ~user ~ap -> Loads.load_if_joins p assoc ~user ~ap)
+    ~if_leaves:(fun ~user ~ap -> Loads.load_if_leaves p assoc ~user ~ap)
+    ~load:(fun b -> loads.(b))
+    ~objective u
+
+(* Tracker-backed decision: O(neighbors · (n_sessions + log members))
+   instead of O(neighbors · n_users); [neighbors] is the caller's cached
+   [Problem.neighbor_aps p u]. *)
+let decide_tracked p assoc tr ~neighbors ~objective u =
+  decide_with p ~neighbors ~current:assoc.(u)
+    ~if_joins:(fun ~user ~ap -> Loads.Tracker.load_if_joins tr ~user ~ap)
+    ~if_leaves:(fun ~user ~ap -> Loads.Tracker.load_if_leaves tr ~user ~ap)
+    ~load:(Loads.Tracker.ap_load tr)
+    ~objective u
 
 let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
-  let _, n_users = Problem.dims p in
+  let n_aps, n_users = Problem.dims p in
   let assoc =
     match init with
     | Some a -> Association.copy a
     | None -> Association.empty ~n_users
   in
-  let loads = Loads.ap_loads p assoc in
+  let tr = Loads.Tracker.create p assoc in
+  (* the neighbor sets are static: compute each user's once per run *)
+  let neighbors = Array.init n_users (Problem.neighbor_aps p) in
+  (* Decision memoisation. A user's decision is a pure function of its own
+     association and the tracker state of its neighbor APs (loads and tx
+     rows), and that state only changes when some user moves into or out
+     of the AP. We version every AP, bump the versions of the APs a move
+     touches, and remember the neighborhood version sum at which a user
+     last decided to stay: versions only grow, so an equal sum means no
+     neighbor AP changed and the cached "stay" is still the decision the
+     full evaluation would return. Skipped stays have no side effects in
+     any scheduler, so the move sequence — and every float — is identical
+     to the unmemoised loop. *)
+  let version = Array.make n_aps 0 in
+  let stay_stamp = Array.make n_users (-1) in
+  let stamp u =
+    List.fold_left (fun acc a -> acc + version.(a)) 0 neighbors.(u)
+  in
+  let apply ~user ~ap =
+    let old_ap = assoc.(user) in
+    if old_ap <> Association.none then
+      version.(old_ap) <- version.(old_ap) + 1;
+    version.(ap) <- version.(ap) + 1;
+    Loads.Tracker.move tr ~user ~ap
+  in
+  (* [Some d] when the decision must be (re)computed — [d] is it, and a
+     stay is recorded under [s]; [None] for a memoised stay. *)
+  let decide_memo u =
+    let s = stamp u in
+    if stay_stamp.(u) = s then None
+    else begin
+      let d = decide_tracked p assoc tr ~neighbors:neighbors.(u) ~objective u in
+      if d = None then stay_stamp.(u) <- s;
+      Some d
+    end
+  in
   let moves = ref 0 in
   let rounds = ref 0 in
   let converged = ref false in
@@ -148,10 +189,10 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
         incr rounds;
         let moved = ref false in
         for u = 0 to n_users - 1 do
-          match decide p assoc ~loads ~objective u with
-          | None -> ()
-          | Some ap ->
-              apply p assoc loads ~user:u ~ap;
+          match decide_memo u with
+          | None | Some None -> ()
+          | Some (Some ap) ->
+              apply ~user:u ~ap;
               incr moves;
               moved := true
         done;
@@ -162,17 +203,20 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
       Hashtbl.replace seen (Array.to_list assoc) ();
       while (not !converged) && (not !oscillated) && !rounds < max_rounds do
         incr rounds;
+        (* all decisions read the same snapshot: take them before any is
+           applied (the version stamps are untouched until then, so the
+           memo is consistent with the snapshot) *)
         let decisions =
-          List.init n_users (fun u ->
-              (u, decide p assoc ~loads ~objective u))
+          List.init n_users (fun u -> (u, decide_memo u))
           |> List.filter_map (fun (u, d) ->
-                 match d with Some ap -> Some (u, ap) | None -> None)
+                 match d with Some (Some ap) -> Some (u, ap) | _ -> None)
         in
         if decisions = [] then converged := true
         else begin
-          List.iter (fun (u, ap) -> assoc.(u) <- ap) decisions;
+          (* applying them through the tracker one by one ends in the same
+             state (and the same cached-load floats) as a full recompute *)
+          List.iter (fun (u, ap) -> apply ~user:u ~ap) decisions;
           moves := !moves + List.length decisions;
-          Array.iteri (fun a _ -> loads.(a) <- Loads.ap_load p assoc ~ap:a) loads;
           let key = Array.to_list assoc in
           if Hashtbl.mem seen key then oscillated := true
           else Hashtbl.replace seen key ()
@@ -181,24 +225,28 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
   | Locked ->
       (* Locks held by users that committed a move stay held until the end
          of the round (their neighborhoods must not be re-read by peers);
-         users that decide to stay release immediately. The scan origin
+         users that decide to stay release immediately — which is also why
+         a memoised stay (no locks ever taken) is indistinguishable from
+         the full lock-decide-release cycle it replaces. The scan origin
          rotates every round so no user starves behind a habitual locker. *)
       while (not !converged) && !rounds < max_rounds do
-        let locked = Array.make (fst (Problem.dims p)) false in
+        let locked = Array.make n_aps false in
         let moved = ref false in
         let offset = if n_users = 0 then 0 else !rounds mod n_users in
         incr rounds;
         for i = 0 to n_users - 1 do
           let u = (i + offset) mod n_users in
-          let neighbors = Problem.neighbor_aps p u in
-          if neighbors <> [] && List.for_all (fun a -> not locked.(a)) neighbors
+          let ns = neighbors.(u) in
+          if ns <> [] && stay_stamp.(u) <> stamp u
+             && List.for_all (fun a -> not locked.(a)) ns
           then begin
             (* acquire locks, decide on live state *)
-            List.iter (fun a -> locked.(a) <- true) neighbors;
-            match decide p assoc ~loads ~objective u with
-            | None -> List.iter (fun a -> locked.(a) <- false) neighbors
-            | Some ap ->
-                apply p assoc loads ~user:u ~ap;
+            List.iter (fun a -> locked.(a) <- true) ns;
+            match decide_memo u with
+            | None | Some None ->
+                List.iter (fun a -> locked.(a) <- false) ns
+            | Some (Some ap) ->
+                apply ~user:u ~ap;
                 incr moves;
                 moved := true
           end

@@ -1,0 +1,39 @@
+(** The [BENCH_*.json] performance-snapshot format written by
+    [bench/main.exe --bench-json]: one flat [entries] array of
+    [{name, wall_s, cpu_s}] records, an optional embedded baseline
+    snapshot and the derived speedup ratios. Renders to / parses from
+    strings; file IO belongs to the binary. The parser only reads what
+    {!render} wrote — it is not a general JSON parser. *)
+
+type entry = {
+  name : string;
+      (** namespaced: ["exp:<id>"], ["alg:<name>@<aps>x<users>"] or
+          ["bechamel:<test>"] *)
+  wall_s : float;  (** wall-clock seconds (monotonic source) *)
+  cpu_s : float;  (** process CPU seconds, all domains *)
+}
+
+type snapshot = {
+  label : string;  (** identifies the measured tree, e.g. "PR3" *)
+  jobs : int;
+  quick : bool;
+  seed : int;
+  entries : entry list;
+}
+
+val schema : string
+
+(** [render ?baseline s] is the full JSON document; a [baseline]
+    snapshot is embedded verbatim and speedup ratios
+    ([baseline wall / current wall], > 1 improved) derived for entries
+    present in both. *)
+val render : ?baseline:snapshot -> snapshot -> string
+
+(** Speedup rows for entries present in both snapshots. *)
+val speedups :
+  baseline:entry list -> current:snapshot -> (string * float) list
+
+(** Recover the label, config and {e top-level} entries of a document
+    written by {!render}; [None] if [s] is not one. An embedded
+    baseline's entries are not returned. *)
+val parse : string -> snapshot option

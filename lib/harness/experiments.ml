@@ -344,7 +344,7 @@ let fig12c ?(cfg = default_config) () =
   in
   let algorithms =
     [
-      ("MNU-centralized", unsat Mnu.run);
+      ("MNU-centralized", unsat (fun p -> Mnu.run p));
       ("MNU-distributed", unsat (fun p -> fst (Distributed.mnu p)));
       ("SSA", unsat Ssa.run);
       ( "optimal",

@@ -7,20 +7,21 @@
 
 let bits_per_word = 62
 
-(* 16-bit popcount table: 4 lookups per word. *)
-let pop16 =
-  let t = Bytes.create 65536 in
-  for i = 0 to 65535 do
-    let rec cnt x acc = if x = 0 then acc else cnt (x lsr 1) (acc + (x land 1)) in
-    Bytes.unsafe_set t i (Char.chr (cnt i 0))
-  done;
-  t
+(* Branchless SWAR popcount — no table, no cache pressure. Words carry 62
+   bits in a 63-bit OCaml int, so the even-bit mask is truncated to bits
+   0..60 (bit 61 is the highest a [w lsr 1] can reach) while the wider
+   masks fit max_int as-is; the final byte-fold multiply accumulates the
+   total (<= 62) into bits 56.., which a logical shift recovers. *)
+let m55 = 0x1555555555555555 (* even bits of a 62-bit word *)
+let m33 = 0x3333333333333333
+let m0f = 0x0f0f0f0f0f0f0f0f
+let m01 = 0x0101010101010101
 
 let popcount_word w =
-  Char.code (Bytes.unsafe_get pop16 (w land 0xffff))
-  + Char.code (Bytes.unsafe_get pop16 ((w lsr 16) land 0xffff))
-  + Char.code (Bytes.unsafe_get pop16 ((w lsr 32) land 0xffff))
-  + Char.code (Bytes.unsafe_get pop16 ((w lsr 48) land 0xffff))
+  let x = w - ((w lsr 1) land m55) in
+  let x = (x land m33) + ((x lsr 2) land m33) in
+  let x = (x + (x lsr 4)) land m0f in
+  (x * m01) lsr 56
 
 type t = { words : int array; capacity : int }
 
@@ -112,9 +113,38 @@ let of_list capacity l =
   List.iter (add t) l;
   t
 
+(** [fold_words f acc t] folds over the backing words (index, 62-bit
+    payload), skipping nothing: callers that fuse word-wise set algebra
+    with accumulation avoid materialising intermediate sets. *)
+let fold_words f acc t =
+  let acc = ref acc in
+  for i = 0 to Array.length t.words - 1 do
+    acc := f !acc i t.words.(i)
+  done;
+  !acc
+
+(* Visit the set bits of word [w] (based at [base]) in ascending order:
+   peel the lowest set bit with [w land (-w)]; its index is the popcount
+   of the ones below it. *)
+let iter_word f base w =
+  let w = ref w in
+  while !w <> 0 do
+    let low = !w land - !w in
+    f (base + popcount_word (low - 1));
+    w := !w land (!w - 1)
+  done
+
 let iter f t =
-  for i = 0 to t.capacity - 1 do
-    if mem t i then f i
+  for i = 0 to Array.length t.words - 1 do
+    iter_word f (i * bits_per_word) t.words.(i)
+  done
+
+(** [iter_inter f a b] visits the elements of [a ∩ b] in ascending
+    order without allocating the intersection. *)
+let iter_inter f a b =
+  same_capacity a b;
+  for i = 0 to Array.length a.words - 1 do
+    iter_word f (i * bits_per_word) (a.words.(i) land b.words.(i))
   done
 
 let to_list t =

@@ -46,9 +46,22 @@ val equal : t -> t -> bool
 val full : int -> t
 
 val of_list : int -> int list -> t
+
+(** [iter f t] visits members in ascending order, scanning whole words
+    and peeling set bits — O(words + members), not O(capacity). *)
 val iter : (int -> unit) -> t -> unit
+
 val to_list : t -> int list
 val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** [fold_words f acc t] folds [f acc word_index word] over the backing
+    62-bit words in index order. The word payload is read-only data; use
+    it to fuse set algebra with accumulation (no intermediate set). *)
+val fold_words : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+
+(** [iter_inter f a b] visits the elements of [a ∩ b] in ascending
+    order without allocating the intersection. *)
+val iter_inter : (int -> unit) -> t -> t -> unit
 
 (** Smallest element of [a ∩ b], or [None] when disjoint. *)
 val first_inter : t -> t -> int option

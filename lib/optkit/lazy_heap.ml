@@ -13,11 +13,20 @@ type 'a entry = { prio : float; value : 'a }
 type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
+  tie : 'a -> 'a -> int;
 }
 
-let create () = { data = [||]; size = 0 }
+let create ?(tie = fun _ _ -> 0) () = { data = [||]; size = 0; tie }
 let length t = t.size
 let is_empty t = t.size = 0
+
+(* Heap order: priority first; equal priorities resolved by [tie] (default
+   0: insertion/layout order, the historical behavior). With a total-order
+   [tie] the maximum is unique, making pop results independent of the
+   heap's internal layout history. *)
+let beats t (a : 'a entry) (b : 'a entry) =
+  a.prio > b.prio
+  || ((a.prio = b.prio) [@lint.allow float_eq]) && t.tie a.value b.value > 0
 
 let swap t i j =
   let tmp = t.data.(i) in
@@ -27,7 +36,7 @@ let swap t i j =
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if t.data.(i).prio > t.data.(parent).prio then begin
+    if beats t t.data.(i) t.data.(parent) then begin
       swap t i parent;
       sift_up t parent
     end
@@ -35,8 +44,8 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let m = if l < t.size && t.data.(l).prio > t.data.(i).prio then l else i in
-  let m = if r < t.size && t.data.(r).prio > t.data.(m).prio then r else m in
+  let m = if l < t.size && beats t t.data.(l) t.data.(i) then l else i in
+  let m = if r < t.size && beats t t.data.(r) t.data.(m) then r else m in
   if m <> i then begin
     swap t i m;
     sift_down t m
@@ -61,6 +70,11 @@ let pop_top t =
     sift_down t 0
   end;
   top
+
+(** [top_bound t] is the stored priority of the heap's root: an O(1) upper
+    bound on the best fresh priority in the heap (stored priorities never
+    underestimate). [None] when empty. *)
+let top_bound t = if t.size = 0 then None else Some t.data.(0).prio
 
 (** [pop_max t ~revalidate] pops the element with the (fresh) maximum
     priority. [revalidate v] must return the current priority of [v], which
@@ -88,7 +102,7 @@ let peek_max t ~revalidate =
       push t ~prio v;
       Some (v, prio)
 
-let of_list l =
-  let t = create () in
+let of_list ?tie l =
+  let t = create ?tie () in
   List.iter (fun (prio, v) -> push t ~prio v) l;
   t

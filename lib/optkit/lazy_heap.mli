@@ -9,7 +9,13 @@
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?tie ()] — [tie] resolves equal-priority comparisons (positive:
+    first argument wins). The default ([fun _ _ -> 0]) leaves ties to the
+    heap's internal layout, the historical behavior; a total order makes
+    the maximum unique, so pop results become independent of layout
+    history. *)
+val create : ?tie:('a -> 'a -> int) -> unit -> 'a t
+
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
@@ -25,4 +31,8 @@ val pop_max : 'a t -> revalidate:('a -> float) -> ('a * float) option
 (** Like {!pop_max} but leaves the winner in the heap. *)
 val peek_max : 'a t -> revalidate:('a -> float) -> ('a * float) option
 
-val of_list : (float * 'a) list -> 'a t
+(** Stored priority of the root: an O(1) upper bound on the best fresh
+    priority in the heap. [None] when empty. *)
+val top_bound : 'a t -> float option
+
+val of_list : ?tie:('a -> 'a -> int) -> (float * 'a) list -> 'a t

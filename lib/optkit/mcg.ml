@@ -52,8 +52,27 @@ let replay inst ~universe sets =
     - [`Hard]: a set is only selectable if it fits the group's remaining
       budget exactly; nothing overshoots and no split is needed. No
       coverage guarantee, but never wastes budget — the practical variant
-      the BLA driver can also try. *)
-let greedy ?(mode = `Soft) ?element_weights inst ~budgets ?universe () =
+      the BLA driver can also try.
+
+    [engine] selects the candidate-generation strategy:
+    - [`Classic] (default): per-group lazy max-heaps, every eligible
+      group re-validated each round. Equal scores resolve by the heap's
+      internal layout — the historical behavior every recorded experiment
+      output is pinned to, which is why it stays the default: any change
+      to the order of heap operations resolves score ties differently.
+    - [`Lazy]: like [`Classic] but with a total tie order (lower set
+      index wins equal scores) and bound-based skipping — each round
+      validates the group with the best stored bound first, then skips
+      every group whose stored bound (an upper bound on its best fresh
+      score) cannot beat the best validated score. Asymptotically the
+      groups untouched by recent winners are never re-scored. Same
+      greedy quality; selections may differ from [`Classic] only where
+      two sets tie exactly on [gain/cost].
+    - [`Eager]: rescans every set of every eligible group each round —
+      the O(rounds · sets) reference. Produces the same selection
+      sequence as [`Lazy] (a qcheck property asserts this). *)
+let greedy ?(mode = `Soft) ?(engine = `Classic) ?element_weights inst ~budgets
+    ?universe () =
   if Array.length budgets <> Cover_instance.n_groups inst then
     invalid_arg "Mcg.greedy: budgets length <> number of groups";
   (match element_weights with
@@ -77,7 +96,7 @@ let greedy ?(mode = `Soft) ?element_weights inst ~budgets ?universe () =
     | None -> float_of_int (Bitset.inter_cardinal s x')
     | Some w ->
         let acc = ref 0. in
-        Bitset.iter (fun e -> if Bitset.mem x' e then acc := !acc +. w.(e)) s;
+        Bitset.iter_inter (fun e -> acc := !acc +. w.(e)) s x';
         !acc
   in
   let weight_of set =
@@ -86,15 +105,47 @@ let greedy ?(mode = `Soft) ?element_weights inst ~budgets ?universe () =
     | Some w -> Bitset.fold (fun e acc -> acc +. w.(e)) set 0.
   in
   let n_groups = Cover_instance.n_groups inst in
-  let heaps = Array.init n_groups (fun _ -> Lazy_heap.create ()) in
-  for j = 0 to Cover_instance.n_sets inst - 1 do
-    let g = Cover_instance.group inst j in
-    let c = Cover_instance.cost inst j in
-    if c <= budgets.(g) +. 1e-12 then begin
-      let gain = gain_of j in
-      if gain > 0. then Lazy_heap.push heaps.(g) ~prio:(gain /. c) j
-    end
-  done;
+  let n_sets = Cover_instance.n_sets inst in
+  (* static eligibility: sets over their group's budget can never be
+     picked; zero-gain sets stay at zero gain forever (gains only shrink) *)
+  let admissible j g = Cover_instance.cost inst j <= budgets.(g) +. 1e-12 in
+  (* heap engines' state: per-group lazy max-heaps. [`Lazy] orders equal
+     scores by lower set index so pops are independent of layout history;
+     [`Classic] keeps the historical layout-resolved ties. *)
+  let heaps =
+    match engine with
+    | `Eager -> [||]
+    | `Classic | `Lazy ->
+        let tie =
+          match engine with
+          | `Lazy -> Some (fun j j' -> Int.compare j' j)
+          | _ -> None
+        in
+        let heaps = Array.init n_groups (fun _ -> Lazy_heap.create ?tie ()) in
+        for j = 0 to n_sets - 1 do
+          let g = Cover_instance.group inst j in
+          if admissible j g then begin
+            let gain = gain_of j in
+            if gain > 0. then
+              Lazy_heap.push heaps.(g)
+                ~prio:(gain /. Cover_instance.cost inst j)
+                j
+          end
+        done;
+        heaps
+  in
+  (* eager engine state: per-group admissible set lists, ascending index *)
+  let group_sets =
+    match engine with
+    | `Classic | `Lazy -> [||]
+    | `Eager ->
+        let gs = Array.make n_groups [] in
+        for j = n_sets - 1 downto 0 do
+          let g = Cover_instance.group inst j in
+          if admissible j g && gain_of j > 0. then gs.(g) <- j :: gs.(g)
+        done;
+        gs
+  in
   let revalidate j =
     let gain = gain_of j in
     if gain <= 0. then neg_infinity
@@ -104,31 +155,92 @@ let greedy ?(mode = `Soft) ?element_weights inst ~budgets ?universe () =
   let raw = ref [] in
   (* per selection: did it overshoot its group's budget? *)
   let overshoot = ref [] in
+  let fits g j =
+    match mode with
+    | `Soft -> true
+    | `Hard ->
+        Cover_instance.cost inst j <= budgets.(g) -. spent.(g) +. 1e-12
+  in
   (* pop a group's best candidate; in [`Hard] mode, sets that no longer fit
      the group's remaining budget are dropped for good (remaining budget
      only shrinks) *)
   let rec candidate g =
     match Lazy_heap.pop_max heaps.(g) ~revalidate with
     | None -> None
-    | Some (j, prio) ->
-        let fits =
-          match mode with
-          | `Soft -> true
-          | `Hard ->
-              Cover_instance.cost inst j <= budgets.(g) -. spent.(g) +. 1e-12
-        in
-        if fits then Some (j, prio) else candidate g
+    | Some (j, prio) -> if fits g j then Some (j, prio) else candidate g
   in
+  (* full rescan of one group: best fresh score, lower index on ties *)
+  let candidate_eager g =
+    List.fold_left
+      (fun acc j ->
+        if not (fits g j) then acc
+        else
+          let gain = gain_of j in
+          if gain <= 0. then acc
+          else
+            let prio = gain /. Cover_instance.cost inst j in
+            match acc with Some (_, p) when p >= prio -> acc | _ -> Some (j, prio))
+      None group_sets.(g)
+  in
+  (* A group whose stored bound is below the best validated score by more
+     than this margin is skipped without re-scoring: its best fresh score
+     (<= the bound) is then too far below the winner to win the round or
+     land in the fold's 1e-12 tie window. 1e-9 dominates that window, so
+     skipping never changes the selection. *)
+  let skip_margin = 1e-9 in
+  let eligible g = spent.(g) < budgets.(g) -. 1e-12 in
   let continue = ref true in
   while !continue && not (Bitset.is_empty x') do
     (* the paper's inner for-loop: best candidate of each eligible group *)
     let popped = ref [] in
-    for g = 0 to n_groups - 1 do
-      if spent.(g) < budgets.(g) -. 1e-12 then
-        match candidate g with
-        | None -> ()
-        | Some (j, prio) -> popped := (g, j, prio) :: !popped
-    done;
+    (match engine with
+    | `Classic ->
+        for g = 0 to n_groups - 1 do
+          if eligible g then
+            match candidate g with
+            | None -> ()
+            | Some (j, prio) -> popped := (g, j, prio) :: !popped
+        done
+    | `Eager ->
+        for g = 0 to n_groups - 1 do
+          if eligible g then
+            match candidate_eager g with
+            | None -> ()
+            | Some (j, prio) -> popped := (g, j, prio) :: !popped
+        done
+    | `Lazy ->
+        (* validate the best-bound group first so the skip threshold is as
+           high as possible before the sweep *)
+        let gmax = ref (-1) and bmax = ref neg_infinity in
+        for g = 0 to n_groups - 1 do
+          if eligible g then
+            match Lazy_heap.top_bound heaps.(g) with
+            | Some b when b > !bmax ->
+                gmax := g;
+                bmax := b
+            | _ -> ()
+        done;
+        let seeded = if !gmax >= 0 then candidate !gmax else None in
+        let best_prio =
+          ref (match seeded with Some (_, p) -> p | None -> neg_infinity)
+        in
+        for g = 0 to n_groups - 1 do
+          if eligible g then
+            if g = !gmax then (
+              match seeded with
+              | Some (j, p) -> popped := (g, j, p) :: !popped
+              | None -> ())
+            else
+              match Lazy_heap.top_bound heaps.(g) with
+              | None -> ()
+              | Some b when b < !best_prio -. skip_margin -> ()
+              | Some _ -> (
+                  match candidate g with
+                  | None -> ()
+                  | Some (j, p) ->
+                      if p > !best_prio then best_prio := p;
+                      popped := (g, j, p) :: !popped)
+        done);
     (* near-equal cost-effectiveness breaks toward the least-loaded group,
        which spreads the cover across APs at no loss of greedy quality *)
     let best =
@@ -148,11 +260,15 @@ let greedy ?(mode = `Soft) ?element_weights inst ~budgets ?universe () =
     match best with
     | None -> continue := false
     | Some (j, _) ->
-        (* re-enqueue the losing groups' candidates *)
-        List.iter
-          (fun (g, j', prio) ->
-            if j' <> j then Lazy_heap.push heaps.(g) ~prio j')
-          !popped;
+        (* re-enqueue the losing groups' candidates (lazy engine only:
+           the eager rescan never removes anything) *)
+        (match engine with
+        | `Eager -> ()
+        | `Classic | `Lazy ->
+            List.iter
+              (fun (g, j', prio) ->
+                if j' <> j then Lazy_heap.push heaps.(g) ~prio j')
+              !popped);
         let g = Cover_instance.group inst j in
         let c = Cover_instance.cost inst j in
         spent.(g) <- spent.(g) +. c;

@@ -25,9 +25,20 @@ type result = {
     count as coverage; [element_weights] (non-negative, default all-1)
     makes coverage a weighted sum — the revenue-weighted MNU
     generalization. Sets costing more than their group's budget are never
-    picked. *)
+    picked.
+
+    [engine] picks the candidate generator. [`Classic] (default)
+    re-validates every eligible group's lazy heap each round, resolving
+    equal scores by heap layout — the behavior all recorded experiment
+    outputs are pinned to. [`Lazy] adds a lower-index tie order and
+    bound-based group skipping (each round, groups whose stored score
+    bound cannot beat the best validated score are not re-scored) — the
+    fast engine for large instances; it may differ from [`Classic] only
+    where two sets tie exactly on [gain/cost]. [`Eager] rescans all sets
+    each round and produces the same selection sequence as [`Lazy]. *)
 val greedy :
   ?mode:[ `Soft | `Hard ] ->
+  ?engine:[ `Classic | `Lazy | `Eager ] ->
   ?element_weights:float array ->
   'a Cover_instance.t ->
   budgets:float array ->

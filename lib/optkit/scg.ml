@@ -30,8 +30,9 @@ let max_group_cost r = Array.fold_left Float.max 0. r.group_cost
 
 (** One SCG run for a fixed [B*]. When [universe] is given explicitly it is
     taken literally: elements of it that no set contains make the run
-    infeasible (the default universe is everything coverable). *)
-let solve_for ?(mode = `Soft) inst ~bstar ?universe () =
+    infeasible (the default universe is everything coverable).
+    [engine] is passed through to {!Mcg.greedy}. *)
+let solve_for ?(mode = `Soft) ?engine inst ~bstar ?universe () =
   let x0 =
     match universe with
     | Some u -> Bitset.copy u
@@ -47,7 +48,7 @@ let solve_for ?(mode = `Soft) inst ~bstar ?universe () =
   (try
      for _ = 1 to k do
        if Bitset.is_empty remaining then raise Exit;
-       let r = Mcg.greedy ~mode inst ~budgets ~universe:remaining () in
+       let r = Mcg.greedy ~mode ?engine inst ~budgets ~universe:remaining () in
        if Bitset.is_empty r.covered then raise Exit (* no progress: infeasible *);
        rounds := r :: !rounds;
        Array.iteri (fun g c -> group_cost.(g) <- group_cost.(g) +. c) r.group_cost;
@@ -98,20 +99,64 @@ let default_grid ?(n_guesses = 12) ?universe inst =
         let t = float_of_int i /. float_of_int (n_guesses - 1) in
         lo *. ((1. /. lo) ** t))
 
-(** Try every [B*] in [grid] and return all feasible runs, best (smallest
-    realized max group cost) first. *)
-let solve_grid ?mode inst ?universe ~grid () =
-  List.filter_map
-    (fun bstar ->
-      let r = solve_for ?mode inst ~bstar ?universe () in
-      if r.feasible then Some r else None)
-    grid
+(** Try the [B*] guesses of [grid] and return all feasible runs computed,
+    best (smallest realized max group cost) first.
+
+    [fanout] evaluates the per-guess thunks; the default runs them
+    sequentially in list order. Injecting a multicore evaluator (e.g.
+    [Harness.Pool.run pool], which returns results in submission order)
+    parallelizes the grid with a result identical to the sequential one —
+    each guess's run is independent and this layer cannot depend on the
+    harness, so the pool is passed in rather than created here.
+
+    [strategy] selects grid coverage:
+    - [`Exhaustive] (default): evaluate every grid point.
+    - [`Bisect]: exploit monotonicity of feasibility in [B*] (a larger
+      per-group budget never hurts the MCG rounds) to binary-search the
+      ascending grid for the smallest feasible guess — O(log |grid|)
+      evaluations. Only the runs actually evaluated are returned (always
+      including the smallest feasible guess), so a caller ranking by
+      {e realized} cost sees a subset of [`Exhaustive]'s candidates.
+      [fanout] is unused: each probe depends on the previous verdict. *)
+let solve_grid ?mode ?engine ?(strategy = `Exhaustive)
+    ?(fanout = List.map (fun f -> f ())) inst ?universe ~grid () =
+  let run bstar = solve_for ?mode ?engine inst ~bstar ?universe () in
+  let results =
+    match strategy with
+    | `Exhaustive -> fanout (List.map (fun bstar () -> run bstar) grid)
+    | `Bisect ->
+        let arr = Array.of_list grid in
+        let n = Array.length arr in
+        let cache = Hashtbl.create 8 in
+        let eval i =
+          match Hashtbl.find_opt cache i with
+          | Some r -> r
+          | None ->
+              let r = run arr.(i) in
+              Hashtbl.replace cache i r;
+              r
+        in
+        if n = 0 then []
+        else begin
+          (if (eval (n - 1)).feasible then begin
+             let lo = ref 0 and hi = ref (n - 1) in
+             while !lo < !hi do
+               let mid = (!lo + !hi) / 2 in
+               if (eval mid).feasible then hi := mid else lo := mid + 1
+             done
+           end);
+          Hashtbl.fold (fun i r acc -> (i, r) :: acc) cache []
+          |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+          |> List.map snd
+        end
+  in
+  List.filter (fun r -> r.feasible) results
   |> List.sort (fun a b -> Float.compare (max_group_cost a) (max_group_cost b))
 
 (** Best feasible solution over the default grid, if any. *)
-let solve ?mode ?n_guesses inst ?universe () =
+let solve ?mode ?engine ?strategy ?fanout ?n_guesses inst ?universe () =
   match
-    solve_grid ?mode inst ?universe
+    solve_grid ?mode ?engine ?strategy ?fanout inst ?universe
       ~grid:(default_grid ?n_guesses ?universe inst)
       ()
   with

@@ -22,9 +22,11 @@ val max_group_cost : result -> float
 
 (** One run at a fixed [B*]. An explicitly-passed [universe] is taken
     literally (uncoverable members make the run infeasible); the default
-    universe is everything coverable. *)
+    universe is everything coverable. [engine] is passed to
+    {!Mcg.greedy}. *)
 val solve_for :
   ?mode:[ `Soft | `Hard ] ->
+  ?engine:[ `Classic | `Lazy | `Eager ] ->
   'a Cover_instance.t ->
   bstar:float ->
   ?universe:Bitset.t ->
@@ -36,10 +38,24 @@ val solve_for :
 val default_grid :
   ?n_guesses:int -> ?universe:Bitset.t -> 'a Cover_instance.t -> float list
 
-(** Feasible runs for every [B*] in [grid], smallest realized max group
-    cost first. *)
+(** Feasible runs over [grid], smallest realized max group cost first.
+
+    [fanout] evaluates the per-guess thunks (default: sequentially, in
+    list order). An evaluator that preserves submission order — e.g.
+    [Harness.Pool.run pool] — parallelizes the grid with an identical
+    result; the pool is injected because this layer sits below the
+    harness.
+
+    [strategy]: [`Exhaustive] (default) evaluates every grid point;
+    [`Bisect] binary-searches the ascending grid for the smallest
+    feasible [B*] (feasibility is monotone in the budget), evaluating
+    O(log |grid|) points and returning only those runs ([fanout]
+    unused — probes are sequentially dependent). *)
 val solve_grid :
   ?mode:[ `Soft | `Hard ] ->
+  ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?strategy:[ `Exhaustive | `Bisect ] ->
+  ?fanout:((unit -> result) list -> result list) ->
   'a Cover_instance.t ->
   ?universe:Bitset.t ->
   grid:float list ->
@@ -49,6 +65,9 @@ val solve_grid :
 (** Best feasible run over the default grid, if any. *)
 val solve :
   ?mode:[ `Soft | `Hard ] ->
+  ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?strategy:[ `Exhaustive | `Bisect ] ->
+  ?fanout:((unit -> result) list -> result list) ->
   ?n_guesses:int ->
   'a Cover_instance.t ->
   ?universe:Bitset.t ->

@@ -91,6 +91,9 @@ let run ?(seed = 0) ?(mac = Mac.default_config) ?(streaming_window = 1.0)
   let user_session = sc.Scenario.user_session in
   let aps = Array.init n_aps Proto.ap_create in
   let assoc = Association.empty ~n_users in
+  (* incremental mirror of [assoc]; all (dis)associations go through it so
+     per-pass load snapshots never rescan the user population *)
+  let tracker = Loads.Tracker.create p assoc in
   let neighbors : Proto.neighbor_info list array = Array.make n_users [] in
   let passes = ref 0 and converged = ref false and oscillated = ref false in
   let history = ref [] in
@@ -99,7 +102,7 @@ let run ?(seed = 0) ?(mac = Mac.default_config) ?(streaming_window = 1.0)
       {
         pass = !passes;
         served = Association.served_count assoc;
-        total_load = Loads.total_load p assoc;
+        total_load = Loads.Tracker.total_load tracker;
         moves_in_pass;
       }
       :: !history
@@ -120,7 +123,7 @@ let run ?(seed = 0) ?(mac = Mac.default_config) ?(streaming_window = 1.0)
     if Association.ap_of assoc u <> Some target then begin
       Proto.ap_join aps.(target) ~user:u ~session:user_session.(u)
         ~link_rate:(link_rate u target);
-      Association.serve assoc ~user:u ~ap:target;
+      Loads.Tracker.move tracker ~user:u ~ap:target;
       Trace.log trace ~time:(Engine.now engine)
         (Trace.Associate { user = u; ap = target })
     end
@@ -213,7 +216,7 @@ let run ?(seed = 0) ?(mac = Mac.default_config) ?(streaming_window = 1.0)
                     Proto.ap_load st ~session_rates
                     <= Problem.ap_budget p best.Proto.ap +. 1e-12
                   then begin
-                    Association.serve assoc ~user:u ~ap:best.Proto.ap;
+                    Loads.Tracker.move tracker ~user:u ~ap:best.Proto.ap;
                     Trace.log trace ~time:(Engine.now engine)
                       (Trace.Associate { user = u; ap = best.Proto.ap })
                   end

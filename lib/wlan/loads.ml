@@ -125,3 +125,164 @@ let pp_loads ppf loads =
   Fmt.pf ppf "@[<h>%a@]"
     Fmt.(array ~sep:sp (fun ppf l -> pf ppf "%.4f" l))
     loads
+
+(** Incremental load tracking. A [Tracker.t] mirrors an association and
+    keeps, per (AP, session), the multiset of member link rates, so a
+    join/leave updates one AP in O(log members + n_sessions) instead of
+    rescanning every user, and [ap_load]/[max_load] are O(1) reads.
+
+    Bit-exactness contract: every value a tracker returns is the exact
+    float the eager functions above would compute for the same
+    association. Min and max of a multiset are order-insensitive, so
+    cached [tx] rates and the max-load read are trivially exact; sums are
+    order-{e dependent}, so a cached AP load is always {e recomputed} by
+    summing the per-session tx row in session index order (identical to
+    {!load_of_tx}), and [total_load] re-folds the per-AP loads in AP
+    index order (identical to {!total_load}). The only cost conceded to
+    exactness is that joins pay O(n_sessions) for the row re-sum and
+    [total_load] pays O(n_aps) when dirty — both far below the
+    O(n_users) scans they replace.
+
+    Zero-rate members are rejected ([Invalid_argument]): the eager scan's
+    [tx = 0.] sentinel makes their effect scan-order-dependent, and no
+    caller associates a user to an out-of-range AP. *)
+module Tracker = struct
+  let eager_load_if_joins = load_if_joins
+  let eager_load_if_leaves = load_if_leaves
+
+  module Fmap = Map.Make (Float)
+
+  let ms_add x m =
+    Fmap.update x (function None -> Some 1 | Some k -> Some (k + 1)) m
+
+  let ms_remove x m =
+    Fmap.update x (function
+      | None -> invalid_arg "Loads.Tracker: multiset underflow"
+      | Some 1 -> None
+      | Some k -> Some (k - 1))
+      m
+
+  type t = {
+    p : Problem.t;
+    assoc : Association.t;  (** shared with the caller; mutate via {!move} *)
+    members : int Fmap.t array array;
+        (** [members.(a).(s)]: link-rate multiset of [a]'s session-[s] users *)
+    tx : float array array;  (** cached min of [members.(a).(s)], or [0.] *)
+    loads : float array;  (** cached per-AP loads, always exact *)
+    mutable load_ms : int Fmap.t;  (** multiset of [loads] values *)
+    mutable total : float;
+    mutable total_dirty : bool;
+  }
+
+  (* Re-derive AP [a]'s cached load from its tx row — the same index-order
+     sum as [load_of_tx], hence bit-identical to an eager rescan. *)
+  let refresh_ap_load t a =
+    let fresh = load_of_tx t.p t.tx.(a) in
+    t.load_ms <- ms_add fresh (ms_remove t.loads.(a) t.load_ms);
+    t.loads.(a) <- fresh;
+    t.total_dirty <- true
+
+  let join_internal t ~user ~ap =
+    let r = Problem.link_rate t.p ~ap ~user in
+    if not (r > 0.) then
+      invalid_arg "Loads.Tracker: join with non-positive link rate";
+    let s = Problem.user_session t.p user in
+    t.members.(ap).(s) <- ms_add r t.members.(ap).(s);
+    (* first-wins scan min over positive rates = multiset min *)
+    if (t.tx.(ap).(s) = 0.) [@lint.allow float_eq] || r < t.tx.(ap).(s) then
+      t.tx.(ap).(s) <- r;
+    refresh_ap_load t ap
+
+  let leave_internal t ~user ~ap =
+    let r = Problem.link_rate t.p ~ap ~user in
+    let s = Problem.user_session t.p user in
+    let m = ms_remove r t.members.(ap).(s) in
+    t.members.(ap).(s) <- m;
+    t.tx.(ap).(s) <-
+      (match Fmap.min_binding_opt m with None -> 0. | Some (r', _) -> r');
+    refresh_ap_load t ap
+
+  let create p (assoc : Association.t) =
+    let n_aps, n_users = Problem.dims p in
+    let n_s = Problem.n_sessions p in
+    let t =
+      {
+        p;
+        assoc;
+        members = Array.init n_aps (fun _ -> Array.make n_s Fmap.empty);
+        tx = Array.make_matrix n_aps n_s 0.;
+        loads = Array.make n_aps 0.;
+        load_ms = (if n_aps = 0 then Fmap.empty else Fmap.singleton 0. n_aps);
+        total = 0.;
+        total_dirty = false;
+      }
+    in
+    for u = 0 to n_users - 1 do
+      if assoc.(u) <> Association.none then
+        join_internal t ~user:u ~ap:assoc.(u)
+    done;
+    t
+
+  let move t ~user ~ap =
+    let old = t.assoc.(user) in
+    if old <> ap then begin
+      if old <> Association.none then leave_internal t ~user ~ap:old;
+      t.assoc.(user) <- ap;
+      if ap <> Association.none then join_internal t ~user ~ap
+    end
+
+  let unserve t ~user = move t ~user ~ap:Association.none
+  let ap_load t a = t.loads.(a)
+  let loads t = t.loads
+
+  let max_load t =
+    match Fmap.max_binding_opt t.load_ms with
+    | None -> 0.
+    | Some (l, _) -> Float.max 0. l
+
+  let total_load t =
+    if t.total_dirty then begin
+      t.total <- Array.fold_left ( +. ) 0. t.loads;
+      t.total_dirty <- false
+    end;
+    t.total
+
+  (* Hypothetical row sum with session [s]'s tx replaced by [hyp] — the
+     same traversal and float expression as [load_of_tx]. *)
+  let sum_with t ~ap ~s hyp =
+    let load = ref 0. in
+    Array.iteri
+      (fun s' r0 ->
+        let r' = if s' = s then hyp else r0 in
+        if r' > 0. then load := !load +. (Problem.session_rate t.p s' /. r'))
+      t.tx.(ap);
+    !load
+
+  let load_if_joins t ~user ~ap =
+    if t.assoc.(user) = ap then t.loads.(ap)
+    else
+      let r = Problem.link_rate t.p ~ap ~user in
+      if not (r > 0.) then
+        (* out-of-range hypothetical: the eager scan defines the result *)
+        eager_load_if_joins t.p t.assoc ~user ~ap
+      else
+        let s = Problem.user_session t.p user in
+        let cur = t.tx.(ap).(s) in
+        let hyp =
+          if (cur = 0.) [@lint.allow float_eq] || r < cur then r else cur
+        in
+        sum_with t ~ap ~s hyp
+
+  let load_if_leaves t ~user ~ap =
+    if t.assoc.(user) <> ap then t.loads.(ap)
+    else
+      let r = Problem.link_rate t.p ~ap ~user in
+      if not (r > 0.) then eager_load_if_leaves t.p t.assoc ~user ~ap
+      else
+        let s = Problem.user_session t.p user in
+        let m = ms_remove r t.members.(ap).(s) in
+        let hyp =
+          match Fmap.min_binding_opt m with None -> 0. | Some (r', _) -> r'
+        in
+        sum_with t ~ap ~s hyp
+end

@@ -46,3 +46,49 @@ val load_if_joins : Problem.t -> Association.t -> user:int -> ap:int -> float
 val load_if_leaves : Problem.t -> Association.t -> user:int -> ap:int -> float
 
 val pp_loads : Format.formatter -> float array -> unit
+
+(** Incremental load tracking: a mirror of an association that keeps
+    per-(AP, session) link-rate multisets so joins and leaves cost
+    O(log members + n_sessions) instead of a full user scan, with O(1)
+    [ap_load]/[max_load] reads. Every returned value is bit-identical to
+    what the eager functions above compute for the same association:
+    cached min rates are exact (min is order-insensitive) and cached
+    loads are always recomputed by the same index-order sums as
+    {!load_of_tx} / {!total_load}. *)
+module Tracker : sig
+  type t
+
+  (** [create p assoc] replays the current association. [assoc] is
+      {e shared}: the tracker updates it on {!move}, and all further
+      mutation must go through the tracker. Raises [Invalid_argument] if
+      some user is associated to an AP with non-positive link rate. *)
+  val create : Problem.t -> Association.t -> t
+
+  (** [move t ~user ~ap] re-associates [user] to [ap] (which may be
+      [Association.none]), updating the shared association array and the
+      affected APs' cached loads. *)
+  val move : t -> user:int -> ap:int -> unit
+
+  (** [unserve t ~user] is [move t ~user ~ap:Association.none]. *)
+  val unserve : t -> user:int -> unit
+
+  (** O(1) cached load of one AP. *)
+  val ap_load : t -> int -> float
+
+  (** The live per-AP load array — a view, not a copy; treat as
+      read-only. *)
+  val loads : t -> float array
+
+  (** Exact network load (index-order re-fold, cached until the next
+      move). *)
+  val total_load : t -> float
+
+  (** O(1) maximum AP load. *)
+  val max_load : t -> float
+
+  (** Hypothetical loads, as {!Loads.load_if_joins} /
+      {!Loads.load_if_leaves} but in O(log members + n_sessions). *)
+
+  val load_if_joins : t -> user:int -> ap:int -> float
+  val load_if_leaves : t -> user:int -> ap:int -> float
+end

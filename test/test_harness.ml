@@ -298,6 +298,72 @@ let qcheck_stats =
            (s.Stats.mean *. float_of_int s.Stats.n)
            (List.fold_left ( +. ) 0. xs))
 
+(* ------------------------------------------------------------------ *)
+(* Bench_json round-trip; pool-fanout B* grid                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bench_json_roundtrip () =
+  let snap =
+    {
+      Bench_json.label = "PR3";
+      jobs = 4;
+      quick = false;
+      seed = 4242;
+      entries =
+        [
+          { Bench_json.name = "exp:fig9"; wall_s = 12.5; cpu_s = 40.25 };
+          {
+            Bench_json.name = "alg:bla-soft@200x400";
+            wall_s = 0.118;
+            cpu_s = 0.118;
+          };
+        ];
+    }
+  in
+  let baseline =
+    {
+      snap with
+      Bench_json.label = "pre";
+      entries = [ { Bench_json.name = "exp:fig9"; wall_s = 25.0; cpu_s = 80.0 } ];
+    }
+  in
+  let doc = Bench_json.render ~baseline snap in
+  (match Bench_json.parse doc with
+  | None -> Alcotest.fail "render output did not parse"
+  | Some s ->
+      Alcotest.(check string) "label" "PR3" s.Bench_json.label;
+      Alcotest.(check int) "jobs" 4 s.Bench_json.jobs;
+      Alcotest.(check bool) "quick" false s.Bench_json.quick;
+      Alcotest.(check int) "seed" 4242 s.Bench_json.seed;
+      Alcotest.(check int) "entries" 2 (List.length s.Bench_json.entries);
+      let e = List.hd s.Bench_json.entries in
+      Alcotest.(check string) "name" "exp:fig9" e.Bench_json.name;
+      Alcotest.(check (float 1e-9)) "wall_s" 12.5 e.Bench_json.wall_s;
+      Alcotest.(check (float 1e-9)) "cpu_s" 40.25 e.Bench_json.cpu_s);
+  match
+    Bench_json.speedups ~baseline:baseline.Bench_json.entries ~current:snap
+  with
+  | [ (name, ratio) ] ->
+      Alcotest.(check string) "speedup row" "exp:fig9" name;
+      Alcotest.(check (float 1e-9)) "ratio" 2.0 ratio
+  | rows ->
+      Alcotest.fail (Fmt.str "expected 1 speedup row, got %d" (List.length rows))
+
+(* the acceptance criterion for tentpole (c): fanning the B* grid over a
+   real pool changes nothing about the solution, at any pool size *)
+let test_bla_pool_fanout_identical () =
+  let cfg =
+    { Wlan_model.Scenario_gen.paper_default with n_aps = 15; n_users = 30 }
+  in
+  let ps = Wlan_model.Scenario_gen.problems ~seed:909 ~n:2 cfg in
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  List.iter
+    (fun p ->
+      let seq = Mcast_core.Bla.run_exn p in
+      let par = Mcast_core.Bla.run_exn ~fanout:(Pool.run pool) p in
+      Alcotest.(check bool) "pool fanout = sequential" true (seq = par))
+    ps
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -318,6 +384,11 @@ let () =
           tc "table1 renders" test_table1_renders;
         ] );
       ("fig cache", [ tc "keyed by (id, cfg)" test_fig_cache_keyed_by_cfg ]);
+      ( "bench",
+        [
+          tc "bench_json roundtrip" test_bench_json_roundtrip;
+          tc "BLA pool fanout identical" test_bla_pool_fanout_identical;
+        ] );
       ( "reproducibility",
         [
           QCheck_alcotest.to_alcotest qcheck_repro_fig9a;

@@ -635,6 +635,88 @@ let prop_scg_selections_disjoint_and_cover =
             (Scg.selections r);
           !disjoint && (not r.Scg.feasible) || Bitset.cardinal seen = n)
 
+(* The lazy (bound-skipping) engine must reproduce the eager rescan
+   engine exactly — same selection sequence, same split, same coverage.
+   Both resolve score ties toward the lower set index, so they share a
+   total order that the layout-dependent Classic engine does not. *)
+let prop_mcg_lazy_eq_eager =
+  QCheck.Test.make ~name:"lazy MCG engine = eager engine" ~count:200
+    (QCheck.pair arb_grouped QCheck.bool)
+    (fun ((n, _, sets, budget), hard) ->
+      QCheck.assume (sets <> []);
+      let inst = mk_grouped ~n sets in
+      let budgets = Array.make (Cover_instance.n_groups inst) budget in
+      let mode = if hard then `Hard else `Soft in
+      let weights = Array.init n (fun e -> float_of_int ((e * 7 mod 5) + 1)) in
+      let same (a : Mcg.result) (b : Mcg.result) =
+        a.Mcg.raw_order = b.Mcg.raw_order
+        && List.length a.Mcg.kept = List.length b.Mcg.kept
+        && List.for_all2
+             (fun (s : Mcg.selection) (s' : Mcg.selection) ->
+               s.set = s'.set && Bitset.equal s.newly s'.newly)
+             a.Mcg.kept b.Mcg.kept
+        && Bitset.equal a.Mcg.covered b.Mcg.covered
+      in
+      let run engine element_weights =
+        Mcg.greedy ~mode ~engine ?element_weights inst ~budgets ()
+      in
+      same (run `Lazy None) (run `Eager None)
+      && same (run `Lazy (Some weights)) (run `Eager (Some weights)))
+
+let same_scg_result (a : Scg.result) (b : Scg.result) =
+  Float.equal a.Scg.bstar b.Scg.bstar
+  && a.Scg.feasible = b.Scg.feasible
+  && Array.for_all2 Float.equal a.Scg.group_cost b.Scg.group_cost
+  && List.length (Scg.selections a) = List.length (Scg.selections b)
+  && List.for_all2
+       (fun (s : Mcg.selection) (s' : Mcg.selection) ->
+         s.set = s'.set && Bitset.equal s.newly s'.newly)
+       (Scg.selections a) (Scg.selections b)
+
+(* the [fanout] contract: any evaluator that returns results in
+   submission order — here one that forces the thunks in reverse — is
+   indistinguishable from the sequential default *)
+let prop_scg_fanout_order_independent =
+  QCheck.Test.make ~name:"SCG grid fanout: reverse evaluation = sequential"
+    ~count:100 arb_grouped (fun (n, _, sets, _) ->
+      QCheck.assume (sets <> []);
+      let sets = (List.init n Fun.id, 1.0, 0) :: sets in
+      let inst = mk_grouped ~n sets in
+      let grid = Scg.default_grid ~n_guesses:6 inst in
+      let reverse_fanout thunks =
+        List.rev_map (fun f -> f ()) thunks |> List.rev
+      in
+      let seq = Scg.solve_grid inst ~grid () in
+      let rev = Scg.solve_grid ~fanout:reverse_fanout inst ~grid () in
+      List.length seq = List.length rev
+      && List.for_all2 same_scg_result seq rev)
+
+(* `Bisect exploits feasibility monotonicity in B*: it must land on the
+   same smallest feasible grid point as the exhaustive sweep, and every
+   run it returns must be identical to the exhaustive run at that B*. *)
+let prop_scg_bisect_agrees_with_exhaustive =
+  QCheck.Test.make ~name:"SCG bisect finds the exhaustive minimum B*"
+    ~count:100 arb_grouped (fun (n, _, sets, _) ->
+      QCheck.assume (sets <> []);
+      let sets = (List.init n Fun.id, 1.0, 0) :: sets in
+      let inst = mk_grouped ~n sets in
+      let grid = Scg.default_grid ~n_guesses:6 inst in
+      let exh = Scg.solve_grid ~strategy:`Exhaustive inst ~grid () in
+      let bis = Scg.solve_grid ~strategy:`Bisect inst ~grid () in
+      let min_bstar rs =
+        List.fold_left
+          (fun acc (r : Scg.result) ->
+            match acc with
+            | None -> Some r.Scg.bstar
+            | Some b -> Some (Float.min b r.Scg.bstar))
+          None rs
+      in
+      min_bstar exh = min_bstar bis
+      && List.for_all
+           (fun (b : Scg.result) ->
+             List.exists (fun e -> same_scg_result b e) exh)
+           bis)
+
 (* ------------------------------------------------------------------ *)
 (* Subset sum / makespan                                              *)
 (* ------------------------------------------------------------------ *)
@@ -727,6 +809,9 @@ let qcheck_cases =
       prop_mcg_exact_matches_brute_force;
       prop_greedy_mcg_within_8_of_exact;
       prop_scg_selections_disjoint_and_cover;
+      prop_mcg_lazy_eq_eager;
+      prop_scg_fanout_order_independent;
+      prop_scg_bisect_agrees_with_exhaustive;
       prop_subset_sum_dp_sound;
       prop_makespan_exact_le_lpt;
       prop_lpt_within_4_3;

@@ -585,6 +585,66 @@ let prop_leaving_never_increases =
         assoc;
       !ok)
 
+let prop_tracker_matches_eager =
+  (* every value the incremental tracker serves must be bit-identical
+     (Float.equal, no epsilon) to the eager from-scratch computation *)
+  QCheck.Test.make ~name:"Tracker matches from-scratch loads under churn"
+    ~count:60 arb_problem (fun p ->
+      let rng = Random.State.make [| 42 |] in
+      let _, n_users = Problem.dims p in
+      let assoc = random_assoc rng p in
+      let tr = Loads.Tracker.create p assoc in
+      let ok = ref true in
+      let check () =
+        let eager = Loads.ap_loads p assoc in
+        Array.iteri
+          (fun a l ->
+            if not (Float.equal l (Loads.Tracker.ap_load tr a)) then
+              ok := false)
+          eager;
+        if
+          not
+            (Float.equal (Loads.total_load p assoc)
+               (Loads.Tracker.total_load tr))
+        then ok := false;
+        if
+          not
+            (Float.equal (Loads.max_load p assoc) (Loads.Tracker.max_load tr))
+        then ok := false;
+        (* hypothetical probes: a random user against all its neighbors *)
+        let u = Random.State.int rng n_users in
+        List.iter
+          (fun ap ->
+            if
+              not
+                (Float.equal
+                   (Loads.load_if_joins p assoc ~user:u ~ap)
+                   (Loads.Tracker.load_if_joins tr ~user:u ~ap))
+            then ok := false;
+            if
+              not
+                (Float.equal
+                   (Loads.load_if_leaves p assoc ~user:u ~ap)
+                   (Loads.Tracker.load_if_leaves tr ~user:u ~ap))
+            then ok := false)
+          (Problem.neighbor_aps p u)
+      in
+      check ();
+      for _ = 1 to 40 do
+        let u = Random.State.int rng n_users in
+        let ns = Problem.neighbor_aps p u in
+        let target =
+          match ns with
+          | [] -> Association.none
+          | _ ->
+              if Random.State.int rng 4 = 0 then Association.none
+              else List.nth ns (Random.State.int rng (List.length ns))
+        in
+        Loads.Tracker.move tr ~user:u ~ap:target;
+        check ()
+      done;
+      !ok)
+
 let prop_rate_adaptation_in_table =
   QCheck.Test.make ~name:"every generated link rate is a Table-1 rate"
     ~count:50 arb_problem (fun p ->
@@ -602,6 +662,7 @@ let qcheck_cases =
       prop_load_monotone_in_users;
       prop_leaving_never_increases;
       prop_rate_adaptation_in_table;
+      prop_tracker_matches_eager;
       prop_scenario_io_roundtrip;
     ]
 

@@ -35,3 +35,34 @@ let ok_outside pool jobs =
   n := List.length jobs;
   ignore !n;
   Pool.run pool (List.map (fun j () -> j) jobs)
+
+(* the same hazard one layer up: a [~fanout] handed to the B* grid
+   typically wraps Pool.run, so its closures ship the grid thunks to
+   worker domains too *)
+let bad_fanout_counter run_parallel inst grid =
+  let evals = ref 0 in
+  Scg.solve_grid
+    ~fanout:(fun fs ->
+      run_parallel
+        (List.map
+           (fun f () ->
+             incr evals;
+             f ())
+           fs))
+    inst ~grid ()
+
+let bad_bla_fanout run_parallel p =
+  let best = Hashtbl.create 4 in
+  Bla.run
+    ~fanout:(fun fs ->
+      run_parallel (List.map (fun f () -> Hashtbl.replace best 0 (f ())) fs))
+    p
+
+let ok_fanout_pool pool inst grid =
+  Scg.solve_grid ~fanout:(Pool.run pool) inst ~grid ()
+
+let ok_fanout_presplit pool p =
+  (* mutable state used before dispatch only, never inside the fanout *)
+  let n = ref 0 in
+  n := 12;
+  Bla.run_exn ~n_guesses:!n ~fanout:(Pool.run pool) p

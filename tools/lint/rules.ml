@@ -317,7 +317,7 @@ let pool_capture =
       in
       collect.structure_item collect si;
       if Hashtbl.length mutables > 0 then begin
-        let scan_pool_arg arg =
+        let scan_pool_arg ~what arg =
           let depth = ref 0 in
           let expr it (e : expression) =
             match e.pexp_desc with
@@ -329,11 +329,11 @@ let pool_capture =
               when !depth > 0 && Hashtbl.mem mutables n ->
                 diags :=
                   diag ctx ~rule:"pool-capture" ~loc
-                    "closure passed to Pool.%s captures the enclosing %s \
+                    "closure passed to %s captures the enclosing %s \
                      '%s': worker domains would share unsynchronised \
                      mutable state; pre-split the data per job or use \
                      Atomic"
-                    "run/map" (Hashtbl.find mutables n) n
+                    what (Hashtbl.find mutables n) n
                   :: !diags
             | _ -> Ast_iterator.default_iterator.expr it e
           in
@@ -347,7 +347,26 @@ let pool_capture =
               | Some p -> (
                   match List.rev p with
                   | fn :: "Pool" :: _ when fn = "run" || fn = "map" ->
-                      List.iter (fun (_, a) -> scan_pool_arg a) args
+                      List.iter
+                        (fun (_, a) -> scan_pool_arg ~what:"Pool.run/map" a)
+                        args
+                  (* the B* grid fan-out: a [~fanout] given to
+                     [Scg.solve_grid]/[Scg.solve]/[Bla.run]/[Bla.run_exn]
+                     typically wraps [Pool.run], so its closures run the
+                     grid thunks on worker domains too *)
+                  | fn :: m :: _
+                    when (m = "Scg" && (fn = "solve_grid" || fn = "solve"))
+                         || (m = "Bla" && (fn = "run" || fn = "run_exn")) ->
+                      List.iter
+                        (fun ((lbl : Asttypes.arg_label), a) ->
+                          match lbl with
+                          | Labelled "fanout" | Optional "fanout" ->
+                              scan_pool_arg
+                                ~what:
+                                  (Printf.sprintf "the ~fanout of %s.%s" m fn)
+                                a
+                          | _ -> ())
+                        args
                   | _ -> ())
               | None -> ())
           | _ -> ());
