@@ -18,7 +18,7 @@ let known =
     "ablate-bstar"; "ablate-sched"; "ablate-bla-mode"; "ablate-mla-alg";
     "ext-popularity";
     "ext-interference"; "ext-dual"; "ext-loss"; "ext-mobility"; "ext-power";
-    "ext-standards";
+    "ext-standards"; "ext-churn";
   ]
 
 (* Wall-clock source: CLOCK_MONOTONIC (via bechamel's stub), immune to

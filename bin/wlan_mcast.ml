@@ -5,6 +5,7 @@
      solve     generate a random WLAN and run one or all algorithms
      simulate  full discrete-event run: scan, associate over the air, stream
      figures   reproduce paper figures, scenarios fanned out over --jobs
+     churn     replay a churn & fault-injection script online
      example   replay the paper's Figure 1 walk-throughs
 
    Try:
@@ -12,6 +13,8 @@
      dune exec bin/wlan_mcast.exe -- solve --algorithm mnu --budget 0.05
      dune exec bin/wlan_mcast.exe -- simulate --policy distributed-bla
      dune exec bin/wlan_mcast.exe -- figures fig9a -j 4
+     dune exec bin/wlan_mcast.exe -- churn --script scenarios/churn_demo.churn
+     dune exec bin/wlan_mcast.exe -- churn --fig4
      dune exec bin/wlan_mcast.exe -- example *)
 
 open Cmdliner
@@ -319,6 +322,243 @@ let figures_cmd =
           domains with deterministic output")
     Term.(const run $ verbose_term $ names $ scenarios $ seed $ jobs)
 
+(* ---------------- churn ---------------- *)
+
+(* Seed-split tag for the generated-script RNG (PR-1 discipline: every
+   derived stream gets its own constant tag). *)
+let churn_split_tag = 0x0c817a4
+
+let write_file path s =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc s)
+
+let churn_cmd =
+  let load, save = scenario_io_terms in
+  let script_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Replay the churn script from FILE instead of generating one \
+                (see --save-script).")
+  in
+  let save_script =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-script" ] ~docv:"FILE"
+          ~doc:"Write the churn script to FILE for exact replay later.")
+  in
+  let gen_events =
+    Arg.(
+      value & opt int 20
+      & info [ "gen-events" ]
+          ~doc:"Generated script length when --script is not given.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 60.
+      & info [ "duration" ] ~doc:"Generated script duration (s).")
+  in
+  let objective =
+    Arg.(
+      value & opt string "all"
+      & info [ "objective"; "o" ]
+          ~doc:"Algorithm variant: mnu, bla, mla or all.")
+  in
+  let mode =
+    Arg.(
+      value & opt string "sequential"
+      & info [ "mode" ]
+          ~doc:"Settle discipline: sequential or simultaneous (the latter \
+                can oscillate, Fig. 4).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains running the algorithm variants in parallel. A churn \
+             replay is a pure function of (scenario, script, variant), and \
+             results re-assemble in variant order, so traces and metrics \
+             are byte-identical for every value of $(docv).")
+  in
+  let max_rounds =
+    Arg.(
+      value & opt int 200
+      & info [ "max-rounds" ] ~doc:"Decision-round cap per settle.")
+  in
+  let no_baseline =
+    Arg.(
+      value & flag
+      & info [ "no-baseline" ]
+          ~doc:"Skip the fresh static solve after each step (drops the \
+                overshoot metrics, makes long replays cheap).")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the event traces of all variants to FILE.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the disruption metrics as JSON to FILE.")
+  in
+  let metrics_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-csv" ] ~docv:"FILE"
+          ~doc:"Write the disruption metrics as CSV to FILE.")
+  in
+  let fig4 =
+    Arg.(
+      value & flag
+      & info [ "fig4" ]
+          ~doc:"Replay the paper's Fig. 4 oscillation instead: two APs, \
+                four users, simultaneous decisions from the crossed start \
+                (ignores the scenario and script options).")
+  in
+  let run () net load save script_file save_script gen_events duration
+      objective mode jobs max_rounds no_baseline trace_file metrics_json
+      metrics_csv fig4 =
+    let render_trace runs =
+      String.concat ""
+        (List.map
+           (fun (r : Harness.Metrics.run) ->
+             Printf.sprintf "== %s ==\n%s" r.Harness.Metrics.label
+               (Wlan_sim.Trace.to_string
+                  r.Harness.Metrics.outcome.Wlan_sim.Churn.trace))
+           runs)
+    in
+    let report runs seed =
+      List.iter
+        (fun (r : Harness.Metrics.run) ->
+          let o = r.Harness.Metrics.outcome in
+          Fmt.pr
+            "%-4s %d steps: rounds %d, moves %d, reassociated %d, \
+             interrupted %d%s@."
+            r.Harness.Metrics.label
+            (List.length o.Wlan_sim.Churn.steps)
+            o.Wlan_sim.Churn.total_rounds o.Wlan_sim.Churn.total_moves
+            o.Wlan_sim.Churn.total_reassociated
+            o.Wlan_sim.Churn.total_interrupted
+            (if o.Wlan_sim.Churn.oscillated then ", OSCILLATED" else ""))
+        runs;
+      Option.iter (fun f -> write_file f (render_trace runs)) trace_file;
+      Option.iter
+        (fun f -> write_file f (Harness.Metrics.json ~seed runs))
+        metrics_json;
+      Option.iter
+        (fun f -> write_file f (Harness.Metrics.csv runs))
+        metrics_csv
+    in
+    if fig4 then begin
+      let p = Examples.fig4 in
+      let script = Churn_script.make [] in
+      let o =
+        Wlan_sim.Churn.run ~init:Examples.fig4_initial ~mode:`Simultaneous
+          ~max_rounds
+          ~tiers:(Problem.distinct_rates p)
+          ~baseline:(not no_baseline) ~objective:Distributed.Min_total_load
+          ~script p
+      in
+      Fmt.pr "Fig. 4 replay (simultaneous decisions, crossed start):@.";
+      report
+        [
+          {
+            Harness.Metrics.label = "fig4";
+            objective = "min-total-load";
+            mode = "simultaneous";
+            outcome = o;
+          };
+        ]
+        net.seed
+    end
+    else begin
+      let sc =
+        match load with
+        | Some path -> Scenario_io.of_file path
+        | None -> scenario_of net
+      in
+      Option.iter (fun path -> Scenario_io.to_file path sc) save;
+      let p = Scenario.to_problem sc in
+      let n_aps, n_users = Problem.dims p in
+      let script =
+        match script_file with
+        | Some f -> Scenario_io.churn_of_file f
+        | None ->
+            let rng = Random.State.make [| net.seed; churn_split_tag |] in
+            Churn_script.random ~rng ~n_aps ~n_users
+              { Churn_script.default_gen with n_events = gen_events; duration }
+      in
+      Option.iter (fun f -> Scenario_io.churn_to_file f script) save_script;
+      let variants =
+        match objective with
+        | "all" ->
+            [
+              ("mnu", Distributed.Min_total_load);
+              ("bla", Distributed.Min_load_vector);
+              ("mla", Distributed.Min_total_load);
+            ]
+        | "mnu" -> [ ("mnu", Distributed.Min_total_load) ]
+        | "mla" -> [ ("mla", Distributed.Min_total_load) ]
+        | "bla" -> [ ("bla", Distributed.Min_load_vector) ]
+        | other ->
+            Fmt.epr "unknown objective %S (mnu, bla, mla, all)@." other;
+            exit 1
+      in
+      let mode_v =
+        match mode with
+        | "sequential" -> `Sequential
+        | "simultaneous" -> `Simultaneous
+        | other ->
+            Fmt.epr "unknown mode %S (sequential, simultaneous)@." other;
+            exit 1
+      in
+      let obj_name = function
+        | Distributed.Min_total_load -> "min-total-load"
+        | Distributed.Min_load_vector -> "min-load-vector"
+      in
+      let runs =
+        Harness.Pool.with_pool ~jobs:(Int.max 1 jobs) @@ fun pool ->
+        Harness.Pool.run pool
+          (List.map
+             (fun (label, obj) () ->
+               let o =
+                 Wlan_sim.Churn.run ~mode:mode_v ~max_rounds
+                   ~baseline:(not no_baseline) ~objective:obj ~script p
+               in
+               {
+                 Harness.Metrics.label;
+                 objective = obj_name obj;
+                 mode;
+                 outcome = o;
+               })
+             variants)
+      in
+      Fmt.pr "%a@.script: %d events over %.1f s@." Scenario.pp sc
+        (Churn_script.length script)
+        (Churn_script.duration script);
+      report runs net.seed
+    end
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:
+         "Replay a churn & fault-injection script against the online \
+          re-association layer, with per-step disruption metrics")
+    Term.(
+      const run $ verbose_term $ net_term $ load $ save $ script_file
+      $ save_script $ gen_events $ duration $ objective $ mode $ jobs
+      $ max_rounds $ no_baseline $ trace_file $ metrics_json $ metrics_csv
+      $ fig4)
+
 (* ---------------- example ---------------- *)
 
 let example_cmd =
@@ -350,4 +590,11 @@ let () =
           (Cmd.info "wlan-mcast"
              ~doc:"Multicast association control for large-scale WLANs \
                    (ICDCS'07 reproduction)")
-          [ solve_cmd; simulate_cmd; analyze_cmd; figures_cmd; example_cmd ]))
+          [
+            solve_cmd;
+            simulate_cmd;
+            analyze_cmd;
+            figures_cmd;
+            churn_cmd;
+            example_cmd;
+          ]))

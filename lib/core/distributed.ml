@@ -259,6 +259,332 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
   { assoc; rounds = !rounds; moves = !moves; converged = !converged;
     oscillated = !oscillated }
 
+(** {1 Online re-association under churn}
+
+    [Online] keeps a running network alive across membership and topology
+    deltas. Where {!run} solves one frozen instance to quiescence, an
+    [Online.t] absorbs events — users arriving and departing, APs failing
+    and recovering, link rates drifting — and re-converges {e
+    incrementally}: each delta marks only the users whose decision inputs
+    it touched (a dirty set maintained through a per-AP watcher index),
+    and {!settle} re-runs the local rule for exactly those users, letting
+    dirtiness propagate move by move. No from-scratch solve ever happens.
+
+    {b Equivalence.} The dirty set is the same staleness relation the
+    version-stamp memo in {!run} tracks: a user is dirty iff some AP in
+    its base neighborhood changed since the user last decided. Skipped
+    users would decide "stay" with no side effect, so a [settle] from an
+    all-dirty start executes the {e identical} move sequence — and, via
+    the {!Loads.Tracker} bit-exactness contract, the identical floats —
+    as [run ~scheduler:Sequential] on the effective static instance (dead
+    AP rows and absent user columns zeroed, see {!effective_problem}).
+    At quiescence the association is therefore a Nash point of the local
+    rule on the final static topology. The differential and oracle suites
+    in [test_churn.ml] pin both facts.
+
+    Determinism: every operation iterates users and APs in ascending
+    index order and draws no randomness, so a churn run is a pure
+    function of (problem, script, objective, mode). *)
+
+module Online = struct
+  type t = {
+    p : Problem.t;
+        (* working copy: the rate rows are owned and mutated on drift *)
+    objective : objective;
+    assoc : Association.t;
+    tr : Loads.Tracker.t;
+    present : bool array;  (* user currently in the network? *)
+    alive : bool array;  (* AP currently up? *)
+    neighbors : int list array;
+        (* base neighborhoods (rate > 0), ascending, alive-agnostic *)
+    watchers : int list array;
+        (* AP -> users with that AP in their base neighborhood, ascending *)
+    dirty : bool array;
+    mutable n_dirty : int;
+  }
+
+  let mark t u =
+    if t.present.(u) && not t.dirty.(u) then begin
+      t.dirty.(u) <- true;
+      t.n_dirty <- t.n_dirty + 1
+    end
+
+  let clear t u =
+    if t.dirty.(u) then begin
+      t.dirty.(u) <- false;
+      t.n_dirty <- t.n_dirty - 1
+    end
+
+  let mark_watchers t a = List.iter (mark t) t.watchers.(a)
+
+  let create ?init ?present ~objective p =
+    let n_aps, n_users = Problem.dims p in
+    let p = { p with Problem.rates = Array.map Array.copy p.Problem.rates } in
+    let present =
+      match present with
+      | Some pr ->
+          if Array.length pr <> n_users then
+            invalid_arg "Online.create: present has wrong length";
+          Array.copy pr
+      | None -> Array.make n_users true
+    in
+    let assoc =
+      match init with
+      | Some a -> Association.copy a
+      | None -> Association.empty ~n_users
+    in
+    (* an absent user is never served *)
+    Array.iteri
+      (fun u pr -> if not pr then assoc.(u) <- Association.none)
+      present;
+    let tr = Loads.Tracker.create p assoc in
+    let neighbors = Array.init n_users (Problem.neighbor_aps p) in
+    let watchers = Array.make n_aps [] in
+    for u = n_users - 1 downto 0 do
+      List.iter (fun a -> watchers.(a) <- u :: watchers.(a)) neighbors.(u)
+    done;
+    let t =
+      {
+        p;
+        objective;
+        assoc;
+        tr;
+        present;
+        alive = Array.make n_aps true;
+        neighbors;
+        watchers;
+        dirty = Array.make n_users false;
+        n_dirty = 0;
+      }
+    in
+    for u = 0 to n_users - 1 do
+      mark t u
+    done;
+    t
+
+  (** The live association — a view, not a copy. *)
+  let assoc t = t.assoc
+
+  (** The live per-AP loads (tracker view, read-only). *)
+  let loads t = Loads.Tracker.loads t.tr
+
+  let total_load t = Loads.Tracker.total_load t.tr
+  let max_load t = Loads.Tracker.max_load t.tr
+  let is_present t u = t.present.(u)
+  let ap_alive t a = t.alive.(a)
+  let dirty_count t = t.n_dirty
+
+  (** The live link rate — reads the working copy that {!set_rate}
+      mutates, not the instance [create] was given. *)
+  let link_rate t ~ap ~user = t.p.Problem.rates.(ap).(user)
+
+  (* A dead AP answers no queries: it simply drops out of everyone's
+     neighborhood. Filtering the ascending base list preserves order, so
+     the decision rule sees exactly [Problem.neighbor_aps p_eff u]. *)
+  let live_neighbors t u = List.filter (fun a -> t.alive.(a)) t.neighbors.(u)
+
+  let decide_online t u =
+    decide_with t.p ~neighbors:(live_neighbors t u) ~current:t.assoc.(u)
+      ~if_joins:(fun ~user ~ap -> Loads.Tracker.load_if_joins t.tr ~user ~ap)
+      ~if_leaves:(fun ~user ~ap -> Loads.Tracker.load_if_leaves t.tr ~user ~ap)
+      ~load:(Loads.Tracker.ap_load t.tr)
+      ~objective:t.objective u
+
+  let apply_move t ~user ~ap =
+    let old_ap = t.assoc.(user) in
+    if old_ap <> Association.none then mark_watchers t old_ap;
+    mark_watchers t ap (* includes [user]: it re-checks next round *);
+    Loads.Tracker.move t.tr ~user ~ap
+
+  (** {2 Membership and topology deltas}
+
+      Each returns what actually happened so the caller can trace it;
+      no-op deltas (arriving twice, failing a dead AP) change nothing. *)
+
+  let arrive t ~user =
+    if t.present.(user) then false
+    else begin
+      t.present.(user) <- true;
+      mark t user;
+      true
+    end
+
+  let depart t ~user =
+    if not t.present.(user) then `Absent
+    else begin
+      t.present.(user) <- false;
+      clear t user;
+      let ap = t.assoc.(user) in
+      if ap = Association.none then `Unserved
+      else begin
+        Loads.Tracker.unserve t.tr ~user;
+        mark_watchers t ap;
+        `Served ap
+      end
+    end
+
+  let fail_ap t ~ap =
+    if not t.alive.(ap) then `Dead
+    else begin
+      t.alive.(ap) <- false;
+      let detached = ref [] in
+      for u = Array.length t.assoc - 1 downto 0 do
+        if t.assoc.(u) = ap then begin
+          Loads.Tracker.unserve t.tr ~user:u;
+          detached := u :: !detached
+        end
+      done;
+      mark_watchers t ap (* the detached members are watchers too *);
+      `Failed !detached
+    end
+
+  let recover_ap t ~ap =
+    if t.alive.(ap) then false
+    else begin
+      t.alive.(ap) <- true;
+      mark_watchers t ap;
+      true
+    end
+
+  (** [set_rate t ~user ~ap rate] installs a new link rate (negative is
+      clamped to [0.] = out of range). If [user] was being served over
+      that link it is detached first and — when the link survives —
+      reattached at the new rate, so the tracker multisets never hold a
+      stale value; a link pushed to [0.] forcibly unserves the user
+      ([`Detached], a session interruption). *)
+  let set_rate t ~user ~ap rate =
+    let rate = if rate < 0. then 0. else rate in
+    let old = t.p.Problem.rates.(ap).(user) in
+    if Float.equal old rate then `Unchanged
+    else begin
+      let attached = t.assoc.(user) = ap in
+      if attached then Loads.Tracker.unserve t.tr ~user;
+      t.p.Problem.rates.(ap).(user) <- rate;
+      (if (old > 0.) <> (rate > 0.) then
+         if rate > 0. then begin
+           t.neighbors.(user) <- List.sort Int.compare (ap :: t.neighbors.(user));
+           t.watchers.(ap) <- List.sort Int.compare (user :: t.watchers.(ap))
+         end
+         else begin
+           t.neighbors.(user) <- List.filter (fun a -> a <> ap) t.neighbors.(user);
+           t.watchers.(ap) <- List.filter (fun u -> u <> user) t.watchers.(ap)
+         end);
+      if attached then
+        if rate > 0. then begin
+          Loads.Tracker.move t.tr ~user ~ap;
+          mark_watchers t ap;
+          `Changed
+        end
+        else begin
+          mark_watchers t ap;
+          mark t user (* no longer a watcher of [ap] *);
+          `Detached
+        end
+      else begin
+        (* no load changed — only this user's own options did *)
+        mark t user;
+        `Changed
+      end
+    end
+
+  (** {2 Re-convergence} *)
+
+  type settle_stats = {
+    rounds : int;  (** scan rounds that evaluated at least one user *)
+    moves : int;  (** (re)associations applied *)
+    reassociated : int;  (** distinct users whose serving AP changed *)
+    converged : bool;
+    oscillated : bool;  (** a seen state recurred ([`Simultaneous] only) *)
+  }
+
+  (** [settle t] drains the dirty set: each round re-runs the local rule
+      for the users marked dirty at the round's start (ascending index),
+      letting moves mark further users, until no user is dirty.
+      [`Sequential] applies each move immediately and always converges on
+      a static network; [`Simultaneous] decides the whole round on one
+      snapshot and can oscillate (Fig. 4) — revisited states are detected
+      and reported. Already-quiescent states return in O(1) with
+      [rounds = 0]. *)
+  let settle ?(max_rounds = 200) ?(mode = `Sequential) t =
+    let n_users = Array.length t.assoc in
+    let before = Association.copy t.assoc in
+    let rounds = ref 0 and moves = ref 0 in
+    let converged = ref false and oscillated = ref false in
+    (match mode with
+    | `Sequential ->
+        while (not !converged) && !rounds < max_rounds do
+          if t.n_dirty = 0 then converged := true
+          else begin
+            incr rounds;
+            for u = 0 to n_users - 1 do
+              if t.dirty.(u) then begin
+                clear t u;
+                match decide_online t u with
+                | None -> ()
+                | Some ap ->
+                    apply_move t ~user:u ~ap;
+                    incr moves
+              end
+            done
+          end
+        done
+    | `Simultaneous ->
+        let seen = Hashtbl.create 64 in
+        Hashtbl.replace seen (Array.to_list t.assoc) ();
+        while
+          (not !converged) && (not !oscillated) && !rounds < max_rounds
+        do
+          if t.n_dirty = 0 then converged := true
+          else begin
+            incr rounds;
+            (* decide the whole round on one snapshot, then apply *)
+            let decisions = ref [] in
+            for u = n_users - 1 downto 0 do
+              if t.dirty.(u) then begin
+                clear t u;
+                match decide_online t u with
+                | None -> ()
+                | Some ap -> decisions := (u, ap) :: !decisions
+              end
+            done;
+            match !decisions with
+            | [] -> ()
+            | ds ->
+                List.iter (fun (u, ap) -> apply_move t ~user:u ~ap) ds;
+                moves := !moves + List.length ds;
+                let key = Array.to_list t.assoc in
+                if Hashtbl.mem seen key then oscillated := true
+                else Hashtbl.replace seen key ()
+          end
+        done);
+    let reassociated = ref 0 in
+    Array.iteri
+      (fun u a -> if a <> before.(u) then incr reassociated)
+      t.assoc;
+    {
+      rounds = !rounds;
+      moves = !moves;
+      reassociated = !reassociated;
+      converged = !converged;
+      oscillated = !oscillated;
+    }
+
+  (** The static instance the network currently embodies: the working
+      rate matrix with dead-AP rows and absent-user columns zeroed. A
+      fresh {!run} on it is the "what a from-scratch solve would have
+      done" baseline the disruption metrics compare against, and the
+      quiescence oracle's ground truth. *)
+  let effective_problem t =
+    let rates =
+      Array.mapi
+        (fun a row ->
+          if not t.alive.(a) then Array.make (Array.length row) 0.
+          else Array.mapi (fun u r -> if t.present.(u) then r else 0.) row)
+        t.p.Problem.rates
+    in
+    { t.p with Problem.rates }
+end
+
 (** {1 The paper's three distributed algorithms} *)
 
 let mnu ?init ?max_rounds ?(scheduler = Sequential) p =

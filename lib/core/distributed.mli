@@ -48,6 +48,104 @@ val run :
   Problem.t ->
   outcome
 
+(** {1 Online re-association under churn}
+
+    A running network that absorbs membership and topology deltas and
+    re-converges incrementally: each delta marks only the users whose
+    decision inputs it touched (via a per-AP watcher index), and
+    {!Online.settle} re-runs the local rule for exactly those users. A
+    settle from an all-dirty start executes the identical move sequence
+    (and identical floats) as {!run} [~scheduler:Sequential] on
+    {!Online.effective_problem}; at quiescence the association is a Nash
+    point of the rule on the final static topology. All operations are
+    deterministic (ascending index order, no randomness). *)
+module Online : sig
+  type t
+
+  (** [create ~objective p] copies [p]'s rate matrix (drift mutates the
+      copy, never the caller's instance) and starts with every AP alive
+      and — unless [present] says otherwise — every user present and
+      dirty. [init] seeds the association (absent users are forced
+      unserved). Raises [Invalid_argument] if [init] serves a user over
+      a zero-rate link. *)
+  val create :
+    ?init:Association.t ->
+    ?present:bool array ->
+    objective:objective ->
+    Problem.t ->
+    t
+
+  (** The live association — a view, not a copy. *)
+  val assoc : t -> Association.t
+
+  (** The live per-AP loads (tracker view, read-only). *)
+  val loads : t -> float array
+
+  val total_load : t -> float
+  val max_load : t -> float
+  val is_present : t -> int -> bool
+  val ap_alive : t -> int -> bool
+
+  (** Users currently marked for re-decision. *)
+  val dirty_count : t -> int
+
+  (** The live link rate — reads the working copy that {!set_rate}
+      mutates, not the instance [create] was given. *)
+  val link_rate : t -> ap:int -> user:int -> float
+
+  (** {2 Deltas} — each returns what actually happened (no-op deltas
+      change nothing). *)
+
+  (** [arrive t ~user]: an absent user enters (unserved, dirty); [false]
+      if already present. *)
+  val arrive : t -> user:int -> bool
+
+  (** [depart t ~user]: a present user leaves; its AP's watchers are
+      marked. *)
+  val depart : t -> user:int -> [ `Absent | `Served of int | `Unserved ]
+
+  (** [fail_ap t ~ap]: the AP goes dark; members are detached (returned
+      ascending) and its watchers marked. *)
+  val fail_ap : t -> ap:int -> [ `Dead | `Failed of int list ]
+
+  (** [recover_ap t ~ap]: the AP comes back empty; [false] if alive. *)
+  val recover_ap : t -> ap:int -> bool
+
+  (** [set_rate t ~user ~ap rate] installs a new link rate (negative
+      clamps to [0.] = out of range), keeping the tracker multisets and
+      the watcher index consistent. [`Detached] means the user was being
+      served over the link and the new rate is [0.] — a forced session
+      interruption. *)
+  val set_rate :
+    t -> user:int -> ap:int -> float -> [ `Changed | `Detached | `Unchanged ]
+
+  (** {2 Re-convergence} *)
+
+  type settle_stats = {
+    rounds : int;  (** scan rounds that evaluated at least one user *)
+    moves : int;  (** (re)associations applied *)
+    reassociated : int;  (** distinct users whose serving AP changed *)
+    converged : bool;
+    oscillated : bool;  (** a seen state recurred ([`Simultaneous] only) *)
+  }
+
+  (** Drain the dirty set (default [`Sequential], [max_rounds] 200).
+      [`Sequential] applies moves immediately and always converges on a
+      static network; [`Simultaneous] decides each round on one snapshot
+      and may oscillate (Fig. 4) — detected and reported. Quiescent
+      states return in O(1) with [rounds = 0]. *)
+  val settle :
+    ?max_rounds:int ->
+    ?mode:[ `Sequential | `Simultaneous ] ->
+    t ->
+    settle_stats
+
+  (** The static instance the network currently embodies (dead-AP rows
+      and absent-user columns zeroed): ground truth for the quiescence
+      oracle and the fresh-optimum disruption baselines. *)
+  val effective_problem : t -> Problem.t
+end
+
 (** {1 The paper's three distributed algorithms} (default scheduler:
     [Sequential]). MLA shares MNU's rule (§6.2). *)
 

@@ -23,6 +23,9 @@ type snapshot = {
 
 val schema : string
 
+(** JSON string escaping (shared with the other JSON sinks). *)
+val escape : string -> string
+
 (** [render ?baseline s] is the full JSON document; a [baseline]
     snapshot is embedded verbatim and speedup ratios
     ([baseline wall / current wall], > 1 improved) derived for entries

@@ -877,6 +877,70 @@ let ext_mobility ?(cfg = default_config) () =
     points = List.map point [ 0.05; 0.1; 0.2; 0.4 ];
   }
 
+(** Churn replay: per-event disruption vs churn intensity. One pool job
+    per random instance; the instance and its script derive only from
+    [(seed, n_events, i)], so the figure is bit-identical at any [jobs]
+    value. *)
+let ext_churn ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
+  let n_scen = Int.min cfg.scenarios 8 in
+  let point n_events =
+    let samples =
+      Pool.run pool
+      @@ List.init n_scen (fun i () ->
+             let p =
+               Scenario_gen.nth_problem ~seed:(cfg.seed + 8) ~index:i
+                 {
+                   Scenario_gen.paper_default with
+                   n_aps = 30;
+                   n_users = 60;
+                   area_w = 600.;
+                   area_h = 600.;
+                 }
+             in
+             let n_aps, n_users = Problem.dims p in
+             let rng = Random.State.make [| cfg.seed + 8; n_events; i |] in
+             let script =
+               Churn_script.random ~rng ~n_aps ~n_users
+                 { Churn_script.default_gen with n_events }
+             in
+             let o =
+               Wlan_sim.Churn.run ~baseline:false
+                 ~objective:Distributed.Min_total_load ~script p
+             in
+             (* the head step is the initial static convergence, not churn *)
+             let churn_steps =
+               List.filteri (fun k _ -> k > 0) o.Wlan_sim.Churn.steps
+             in
+             let mean f =
+               match churn_steps with
+               | [] -> 0.
+               | _ ->
+                   List.fold_left (fun a s -> a +. f s) 0. churn_steps
+                   /. float_of_int (List.length churn_steps)
+             in
+             ( mean (fun (s : Wlan_sim.Churn.step) ->
+                   float_of_int s.Wlan_sim.Churn.reassociated),
+               mean (fun (s : Wlan_sim.Churn.step) ->
+                   float_of_int s.Wlan_sim.Churn.rounds) ))
+    in
+    {
+      Series.x = float_of_int n_events;
+      values =
+        [
+          ("reassociated", Stats.summarize (List.map fst samples));
+          ("rounds", Stats.summarize (List.map snd samples));
+        ];
+    }
+  in
+  {
+    Series.id = "ext-churn";
+    title = "Per-step disruption vs churn intensity (30 APs, 60 users)";
+    x_label = "script events";
+    y_label = "mean re-associations / rounds per step";
+    points = List.map point [ 10; 20; 40; 80 ];
+  }
+
 (** Distributed scheduler comparison: solution quality and rounds. *)
 let ablate_sched ?(cfg = default_config) () =
   Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
@@ -940,4 +1004,5 @@ let drivers : (string * (?cfg:config -> unit -> Series.figure)) list =
     ("ext-mobility", ext_mobility);
     ("ext-power", ext_power);
     ("ext-standards", ext_standards);
+    ("ext-churn", ext_churn);
   ]

@@ -60,6 +60,10 @@ val ext_mobility : ?cfg:config -> unit -> Series.figure
 val ext_power : ?cfg:config -> unit -> Series.figure
 val ext_standards : ?cfg:config -> unit -> Series.figure
 
+(** Per-step churn disruption vs script intensity (replays random
+    {!Wlan_model.Churn_script}s through {!Wlan_sim.Churn}). *)
+val ext_churn : ?cfg:config -> unit -> Series.figure
+
 (** {1 Registry} *)
 
 (** Every figure driver by id ("fig9a" .. "ext-standards"), shared by the

@@ -11,6 +11,21 @@ type kind =
   | Frame of { ap : int; session : int; airtime : float }
   | Decision of { user : int; moved : bool }
   | Mark of string
+  | Arrive of { user : int }  (** churn: a user enters the network *)
+  | Depart of { user : int; ap : int }
+      (** churn: a user leaves; [ap] is its serving AP, or
+          [Wlan_model.Association.none] if it was unserved *)
+  | Ap_down of { ap : int; detached : int }
+      (** churn: AP failure, [detached] members forcibly unserved *)
+  | Ap_up of { ap : int }  (** churn: AP recovery *)
+  | Rate_drift of { user : int; steps : int }
+      (** churn: every link of [user] shifted [steps] rate tiers *)
+  | Settle of {
+      rounds : int;
+      moves : int;
+      reassociated : int;
+      oscillated : bool;
+    }  (** churn: one re-convergence to quiescence *)
 
 type record = { time : float; kind : kind }
 
@@ -30,3 +45,7 @@ val filter : t -> (record -> bool) -> record list
 val count_kind : t -> (kind -> bool) -> int
 val pp_kind : Format.formatter -> kind -> unit
 val pp_record : Format.formatter -> record -> unit
+
+(** The whole log as text, one record per line, chronological — the byte
+    stream the golden-trace regression tests digest. *)
+val to_string : t -> string

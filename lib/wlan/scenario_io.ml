@@ -118,6 +118,116 @@ let of_string text =
     ~budget:(require "budget" !budget)
     ()
 
+(** {1 Churn scripts}
+
+    Same discipline, separate stream: a churn script serializes to its
+    own versioned line format so dynamic workloads ship next to — not
+    inside — the static deployment they run against:
+
+    {v
+    wlan-mcast-churn 1
+    at <t> join <user>
+    at <t> leave <user>
+    at <t> ap-fail <ap>
+    at <t> ap-recover <ap>
+    at <t> drift <user> <steps>
+    at <t> burst <user> <user> ...
+    v} *)
+
+let churn_version = 1
+
+let churn_to_string (cs : Churn_script.t) =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "wlan-mcast-churn %d\n" churn_version;
+  List.iter
+    (fun { Churn_script.time; event } ->
+      pf "at %.17g " time;
+      (match event with
+      | Churn_script.Join { user } -> pf "join %d" user
+      | Churn_script.Leave { user } -> pf "leave %d" user
+      | Churn_script.Ap_fail { ap } -> pf "ap-fail %d" ap
+      | Churn_script.Ap_recover { ap } -> pf "ap-recover %d" ap
+      | Churn_script.Drift { user; steps } -> pf "drift %d %d" user steps
+      | Churn_script.Burst { users } ->
+          pf "burst";
+          List.iter (pf " %d") users);
+      pf "\n")
+    (Churn_script.events cs);
+  Buffer.contents buf
+
+let churn_of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let float_of s =
+    match float_of_string_opt s with
+    | Some f -> f
+    | None -> fail "bad float %S" s
+  in
+  let int_of s =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail "bad int %S" s
+  in
+  (match lines with
+  | header :: _ -> (
+      match String.split_on_char ' ' header with
+      | [ "wlan-mcast-churn"; v ] when int_of v = churn_version -> ()
+      | [ "wlan-mcast-churn"; v ] -> fail "unsupported churn version %s" v
+      | _ -> fail "missing churn header")
+  | [] -> fail "empty churn script");
+  let events = ref [] in
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        let timed time event = { Churn_script.time; event } in
+        match String.split_on_char ' ' line with
+        | [ "at"; t; "join"; u ] ->
+            events :=
+              timed (float_of t) (Churn_script.Join { user = int_of u })
+              :: !events
+        | [ "at"; t; "leave"; u ] ->
+            events :=
+              timed (float_of t) (Churn_script.Leave { user = int_of u })
+              :: !events
+        | [ "at"; t; "ap-fail"; a ] ->
+            events :=
+              timed (float_of t) (Churn_script.Ap_fail { ap = int_of a })
+              :: !events
+        | [ "at"; t; "ap-recover"; a ] ->
+            events :=
+              timed (float_of t) (Churn_script.Ap_recover { ap = int_of a })
+              :: !events
+        | [ "at"; t; "drift"; u; s ] ->
+            events :=
+              timed (float_of t)
+                (Churn_script.Drift { user = int_of u; steps = int_of s })
+              :: !events
+        | "at" :: t :: "burst" :: us when us <> [] ->
+            events :=
+              timed (float_of t)
+                (Churn_script.Burst { users = List.map int_of us })
+              :: !events
+        | _ -> fail "unrecognized churn line %S" line)
+    lines;
+  try Churn_script.make (List.rev !events)
+  with Invalid_argument msg -> fail "%s" msg
+
+let churn_to_file path cs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (churn_to_string cs))
+
+let churn_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> churn_of_string (In_channel.input_all ic))
+
 let to_file path sc =
   let oc = open_out path in
   Fun.protect

@@ -14,3 +14,20 @@ val to_file : string -> Scenario.t -> unit
 
 (** @raise Parse_error on malformed input; [Sys_error] on IO failure. *)
 val of_file : string -> Scenario.t
+
+(** {1 Churn scripts}
+
+    A {!Churn_script.t} serializes to its own versioned line format
+    ([wlan-mcast-churn 1]) so dynamic workloads ship next to — not
+    inside — the static deployment they run against. Times round-trip
+    bit for bit ([%.17g]). *)
+
+val churn_to_string : Churn_script.t -> string
+
+(** @raise Parse_error on malformed input. *)
+val churn_of_string : string -> Churn_script.t
+
+val churn_to_file : string -> Churn_script.t -> unit
+
+(** @raise Parse_error on malformed input; [Sys_error] on IO failure. *)
+val churn_of_file : string -> Churn_script.t

@@ -1,0 +1,423 @@
+(* The churn differential battery: dynamic runs pinned to the static
+   solvers.
+
+   - Quiescence oracle (qcheck): after an arbitrary churn script drains,
+     the association is a Nash point of the local rule on the final
+     static topology, and the tracker's cached per-AP loads equal a
+     from-scratch eager recompute bit for bit — for the MNU (tight
+     budget), BLA and MLA variants.
+   - Differential settle: an all-dirty Online settle executes the same
+     moves and lands on the same association and floats as
+     Distributed.run ~scheduler:Sequential on the same instance.
+   - Golden traces: the committed demo scenario replays to the committed
+     trace/metrics digests, byte-identical at jobs 1 and jobs 4.
+   - Fig. 4: simultaneous decisions from the crossed start oscillate;
+     sequential decisions converge. *)
+
+open Wlan_model
+open Mcast_core
+
+let small_cfg ~n_aps ~n_users =
+  { Scenario_gen.paper_default with n_aps; n_users; area_w = 500.; area_h = 500. }
+
+(* Deterministic (seed)-indexed random instance + script. *)
+let case ~seed =
+  let rng = Random.State.make [| seed; 0x0c4a51 |] in
+  let n_aps = 3 + Random.State.int rng 6 in
+  let n_users = 6 + Random.State.int rng 16 in
+  let p = Scenario_gen.nth_problem ~seed ~index:0 (small_cfg ~n_aps ~n_users) in
+  let n_aps, n_users = Problem.dims p in
+  let script =
+    Churn_script.random ~rng ~n_aps ~n_users
+      { Churn_script.default_gen with n_events = 5 + Random.State.int rng 25 }
+  in
+  (p, script)
+
+let check_float_arrays what a b =
+  Alcotest.(check int) (what ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Float.equal x b.(i)) then
+        Alcotest.failf "%s: index %d differs: %.17g vs %.17g" what i x b.(i))
+    a
+
+(* ------------------------------------------------------------------ *)
+(* Quiescence oracle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let quiescent_after_churn ~label ~objective ~tweak seed =
+  let p, script = case ~seed in
+  let p = tweak p in
+  let o =
+    Wlan_sim.Churn.run ~baseline:false
+      ~tiers:(Problem.distinct_rates p)
+      ~objective ~script p
+  in
+  (* every settle converged (Sequential always does) *)
+  List.iter
+    (fun (s : Wlan_sim.Churn.step) ->
+      if not s.converged then Alcotest.failf "%s: step did not converge" label)
+    o.Wlan_sim.Churn.steps;
+  let eff = o.Wlan_sim.Churn.effective in
+  let assoc = o.Wlan_sim.Churn.assoc in
+  (* per-AP loads: tracker cache = eager recompute, bit for bit *)
+  let eager = Loads.ap_loads eff assoc in
+  check_float_arrays (label ^ " loads") eager o.Wlan_sim.Churn.loads;
+  (* Nash: no user's local rule wants to move on the final topology *)
+  let _, n_users = Problem.dims eff in
+  for u = 0 to n_users - 1 do
+    match Distributed.decide eff assoc ~loads:eager ~objective u with
+    | None -> ()
+    | Some ap -> Alcotest.failf "%s: user %d still wants AP %d" label u ap
+  done;
+  true
+
+let qcheck_oracle ~label ~objective ~tweak =
+  QCheck.Test.make ~name:("quiescence oracle: " ^ label) ~count:40
+    QCheck.(int_range 0 10_000)
+    (quiescent_after_churn ~label ~objective ~tweak)
+
+let oracle_mla =
+  qcheck_oracle ~label:"MLA" ~objective:Distributed.Min_total_load
+    ~tweak:Fun.id
+
+let oracle_bla =
+  qcheck_oracle ~label:"BLA" ~objective:Distributed.Min_load_vector
+    ~tweak:Fun.id
+
+(* MNU regime: a tight budget makes feasibility bite. *)
+let oracle_mnu =
+  qcheck_oracle ~label:"MNU" ~objective:Distributed.Min_total_load
+    ~tweak:(fun p -> Problem.with_budget p 0.3)
+
+(* ------------------------------------------------------------------ *)
+(* Differential: Online all-dirty settle = static sequential run        *)
+(* ------------------------------------------------------------------ *)
+
+let differential_settle ~objective seed =
+  let p, _ = case ~seed in
+  let st = Distributed.run ~max_rounds:500 ~scheduler:Sequential ~objective p in
+  let net = Distributed.Online.create ~objective p in
+  let stats = Distributed.Online.settle ~max_rounds:500 net in
+  if not (Association.equal st.Distributed.assoc (Distributed.Online.assoc net))
+  then Alcotest.fail "association differs from static sequential run";
+  Alcotest.(check int) "same moves" st.Distributed.moves
+    stats.Distributed.Online.moves;
+  Alcotest.(check bool) "converged" true stats.Distributed.Online.converged;
+  check_float_arrays "loads"
+    (Loads.ap_loads p st.Distributed.assoc)
+    (Array.copy (Distributed.Online.loads net));
+  (* settling again is a no-op in O(1) *)
+  let again = Distributed.Online.settle net in
+  Alcotest.(check int) "idempotent rounds" 0 again.Distributed.Online.rounds;
+  Alcotest.(check int) "idempotent moves" 0 again.Distributed.Online.moves;
+  true
+
+let qcheck_differential_mla =
+  QCheck.Test.make ~name:"Online settle = Distributed.run (MLA rule)"
+    ~count:60
+    QCheck.(int_range 0 10_000)
+    (differential_settle ~objective:Distributed.Min_total_load)
+
+let qcheck_differential_bla =
+  QCheck.Test.make ~name:"Online settle = Distributed.run (BLA rule)"
+    ~count:60
+    QCheck.(int_range 0 10_000)
+    (differential_settle ~objective:Distributed.Min_load_vector)
+
+(* ------------------------------------------------------------------ *)
+(* Online delta bookkeeping                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_online_deltas () =
+  let p, _ = case ~seed:42 in
+  let net = Distributed.Online.create ~objective:Distributed.Min_total_load p in
+  let (_ : Distributed.Online.settle_stats) = Distributed.Online.settle net in
+  (* no-op deltas change nothing *)
+  Alcotest.(check bool) "arrive present" false
+    (Distributed.Online.arrive net ~user:0);
+  Alcotest.(check bool) "recover alive" false
+    (Distributed.Online.recover_ap net ~ap:0);
+  Alcotest.(check int) "still quiescent" 0 (Distributed.Online.dirty_count net);
+  (* depart + arrive round-trips to a quiescent equivalent state *)
+  (match Distributed.Online.depart net ~user:0 with
+  | `Absent -> Alcotest.fail "user 0 should be present"
+  | `Served _ | `Unserved -> ());
+  Alcotest.(check bool) "absent now" false (Distributed.Online.is_present net 0);
+  (match Distributed.Online.depart net ~user:0 with
+  | `Absent -> ()
+  | _ -> Alcotest.fail "double depart must be a no-op");
+  let (_ : Distributed.Online.settle_stats) = Distributed.Online.settle net in
+  Alcotest.(check bool) "arrive absent" true
+    (Distributed.Online.arrive net ~user:0);
+  let (_ : Distributed.Online.settle_stats) = Distributed.Online.settle net in
+  (* failing an AP detaches exactly its members and empties it *)
+  let assoc = Distributed.Online.assoc net in
+  let members = Association.users_of assoc ~ap:0 in
+  (match Distributed.Online.fail_ap net ~ap:0 with
+  | `Dead -> Alcotest.fail "AP 0 should be alive"
+  | `Failed detached ->
+      Alcotest.(check (list int)) "detached = members" members detached);
+  Alcotest.(check bool) "dead now" false (Distributed.Online.ap_alive net 0);
+  (match Distributed.Online.fail_ap net ~ap:0 with
+  | `Dead -> ()
+  | `Failed _ -> Alcotest.fail "double fail must be a no-op");
+  let (_ : Distributed.Online.settle_stats) = Distributed.Online.settle net in
+  (* nobody is served by a dead AP, and its load is zero *)
+  let assoc = Distributed.Online.assoc net in
+  Alcotest.(check (list int)) "dead AP empty" []
+    (Association.users_of assoc ~ap:0);
+  Alcotest.(check bool) "dead AP load 0" true
+    (Float.equal 0. (Distributed.Online.loads net).(0));
+  (* the quiescent state is Nash on the effective instance *)
+  let eff = Distributed.Online.effective_problem net in
+  let loads = Loads.ap_loads eff assoc in
+  let _, n_users = Problem.dims eff in
+  for u = 0 to n_users - 1 do
+    match
+      Distributed.decide eff assoc ~loads
+        ~objective:Distributed.Min_total_load u
+    with
+    | None -> ()
+    | Some ap -> Alcotest.failf "user %d wants AP %d after failure" u ap
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig4_oscillates () =
+  let p = Examples.fig4 in
+  let o =
+    Wlan_sim.Churn.run ~init:Examples.fig4_initial ~mode:`Simultaneous
+      ~baseline:false
+      ~tiers:(Problem.distinct_rates p)
+      ~objective:Distributed.Min_total_load
+      ~script:(Churn_script.make []) p
+  in
+  Alcotest.(check bool) "oscillated" true o.Wlan_sim.Churn.oscillated
+
+let test_fig4_sequential_converges () =
+  let p = Examples.fig4 in
+  let o =
+    Wlan_sim.Churn.run ~init:Examples.fig4_initial ~mode:`Sequential
+      ~baseline:false
+      ~tiers:(Problem.distinct_rates p)
+      ~objective:Distributed.Min_total_load
+      ~script:(Churn_script.make []) p
+  in
+  Alcotest.(check bool) "no oscillation" false o.Wlan_sim.Churn.oscillated;
+  List.iter
+    (fun (s : Wlan_sim.Churn.step) ->
+      Alcotest.(check bool) "converged" true s.converged)
+    o.Wlan_sim.Churn.steps
+
+(* ------------------------------------------------------------------ *)
+(* Golden traces: demo scenario, jobs 1 vs jobs 4 vs committed digest  *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror of the CLI replay: three variants fanned out over a pool,
+   results in submission order. *)
+let demo_replay ~jobs =
+  let sc = Scenario_io.of_file "../scenarios/churn_demo.scn" in
+  let script = Scenario_io.churn_of_file "../scenarios/churn_demo.churn" in
+  let p = Scenario.to_problem sc in
+  let variants =
+    [
+      ("mnu", Distributed.Min_total_load);
+      ("bla", Distributed.Min_load_vector);
+      ("mla", Distributed.Min_total_load);
+    ]
+  in
+  Harness.Pool.with_pool ~jobs @@ fun pool ->
+  Harness.Pool.run pool
+    (List.map
+       (fun (label, objective) () ->
+         let o = Wlan_sim.Churn.run ~objective ~script p in
+         {
+           Harness.Metrics.label;
+           objective =
+             (match objective with
+             | Distributed.Min_total_load -> "min-total-load"
+             | Distributed.Min_load_vector -> "min-load-vector");
+           mode = "sequential";
+           outcome = o;
+         })
+       variants)
+
+let render_traces runs =
+  String.concat ""
+    (List.map
+       (fun (r : Harness.Metrics.run) ->
+         Printf.sprintf "== %s ==\n%s" r.Harness.Metrics.label
+           (Wlan_sim.Trace.to_string
+              r.Harness.Metrics.outcome.Wlan_sim.Churn.trace))
+       runs)
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let read_golden path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      match In_channel.input_all ic |> String.trim |> String.split_on_char '\n'
+      with
+      | [ trace; metrics ] -> (String.trim trace, String.trim metrics)
+      | _ -> Alcotest.failf "malformed golden file %s" path)
+
+let test_golden_demo () =
+  let runs1 = demo_replay ~jobs:1 in
+  let runs4 = demo_replay ~jobs:4 in
+  let t1 = render_traces runs1 and t4 = render_traces runs4 in
+  let m1 = Harness.Metrics.json ~seed:11 runs1
+  and m4 = Harness.Metrics.json ~seed:11 runs4 in
+  Alcotest.(check string) "traces j1 = j4" t1 t4;
+  Alcotest.(check string) "metrics j1 = j4" m1 m4;
+  let gt, gm = read_golden "golden/churn_demo.digest" in
+  Alcotest.(check string) "trace digest" gt (digest t1);
+  Alcotest.(check string) "metrics digest" gm (digest m1)
+
+let test_golden_fig4 () =
+  let p = Examples.fig4 in
+  let run () =
+    Wlan_sim.Churn.run ~init:Examples.fig4_initial ~mode:`Simultaneous
+      ~tiers:(Problem.distinct_rates p)
+      ~objective:Distributed.Min_total_load
+      ~script:(Churn_script.make []) p
+  in
+  let render o = Wlan_sim.Trace.to_string o.Wlan_sim.Churn.trace in
+  let t1, t4 =
+    ( render (run ()),
+      Harness.Pool.with_pool ~jobs:4 @@ fun pool ->
+      match Harness.Pool.run pool [ (fun () -> render (run ())) ] with
+      | [ t ] -> t
+      | _ -> Alcotest.fail "pool lost the job" )
+  in
+  Alcotest.(check string) "fig4 trace j1 = j4" t1 t4;
+  let gt, gm = read_golden "golden/churn_fig4.digest" in
+  let o = run () in
+  Alcotest.(check string) "fig4 trace digest" gt (digest t1);
+  Alcotest.(check string) "fig4 metrics digest" gm
+    (digest
+       (Harness.Metrics.json ~seed:0
+          [
+            {
+              Harness.Metrics.label = "fig4";
+              objective = "min-total-load";
+              mode = "simultaneous";
+              outcome = o;
+            };
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* Script model and serialization                                      *)
+(* ------------------------------------------------------------------ *)
+
+let script_gen =
+  QCheck.make ~print:(fun seed -> Printf.sprintf "seed %d" seed)
+    QCheck.Gen.(0 -- 10_000)
+
+let qcheck_script_roundtrip =
+  QCheck.Test.make ~name:"churn script (de)serialization round-trips"
+    ~count:100 script_gen (fun seed ->
+      let rng = Random.State.make [| seed; 0x5e71a1 |] in
+      let script =
+        Churn_script.random ~rng ~n_aps:(1 + Random.State.int rng 9)
+          ~n_users:(1 + Random.State.int rng 30)
+          {
+            Churn_script.default_gen with
+            n_events = Random.State.int rng 40;
+          }
+      in
+      let text = Scenario_io.churn_to_string script in
+      let back = Scenario_io.churn_of_string text in
+      back = script
+      && (* and the text itself is a fixpoint *)
+      String.equal text (Scenario_io.churn_to_string back))
+
+let test_script_rejects () =
+  let bad header =
+    Alcotest.check_raises "rejected"
+      (Scenario_io.Parse_error
+         (match header with
+         | `Version -> "unsupported churn version 99"
+         | `Header -> "missing churn header"
+         | `Line -> "unrecognized churn line \"at 1 teleport 3\""))
+      (fun () ->
+        ignore
+          (Scenario_io.churn_of_string
+             (match header with
+             | `Version -> "wlan-mcast-churn 99\n"
+             | `Header -> "not-a-churn-file\n"
+             | `Line -> "wlan-mcast-churn 1\nat 1 teleport 3\n")))
+  in
+  bad `Version;
+  bad `Header;
+  bad `Line;
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Churn_script.make: bad event time -1")
+    (fun () ->
+      ignore
+        (Churn_script.make
+           [ { Churn_script.time = -1.; event = Join { user = 0 } } ]))
+
+let test_script_steps () =
+  let s =
+    Churn_script.make
+      [
+        { Churn_script.time = 2.; event = Churn_script.Leave { user = 1 } };
+        { time = 1.; event = Join { user = 0 } };
+        { time = 2.; event = Ap_fail { ap = 0 } };
+      ]
+  in
+  match Churn_script.steps s with
+  | [ (t1, [ Churn_script.Join _ ]); (t2, [ Leave _; Ap_fail _ ]) ] ->
+      Alcotest.(check bool) "times" true
+        (Float.equal t1 1. && Float.equal t2 2.)
+  | _ -> Alcotest.fail "wrong step grouping"
+
+let test_script_validate () =
+  let s =
+    Churn_script.make
+      [ { Churn_script.time = 0.; event = Join { user = 7 } } ]
+  in
+  Alcotest.check_raises "unknown user"
+    (Invalid_argument "Churn_script.validate: unknown user 7") (fun () ->
+      ignore (Churn_script.validate ~n_aps:2 ~n_users:3 s))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "churn"
+    [
+      ( "oracle",
+        List.map QCheck_alcotest.to_alcotest
+          [ oracle_mla; oracle_bla; oracle_mnu ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ qcheck_differential_mla; qcheck_differential_bla ] );
+      ( "online",
+        [ Alcotest.test_case "delta bookkeeping" `Quick test_online_deltas ] );
+      ( "fig4",
+        [
+          Alcotest.test_case "simultaneous oscillates" `Quick
+            test_fig4_oscillates;
+          Alcotest.test_case "sequential converges" `Quick
+            test_fig4_sequential_converges;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "demo scenario, j1 = j4 = digest" `Quick
+            test_golden_demo;
+          Alcotest.test_case "fig4 trace digest" `Quick test_golden_fig4;
+        ] );
+      ( "script",
+        [
+          QCheck_alcotest.to_alcotest qcheck_script_roundtrip;
+          Alcotest.test_case "malformed inputs rejected" `Quick
+            test_script_rejects;
+          Alcotest.test_case "step grouping" `Quick test_script_steps;
+          Alcotest.test_case "validate ranges" `Quick test_script_validate;
+        ] );
+    ]

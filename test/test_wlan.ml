@@ -645,6 +645,81 @@ let prop_tracker_matches_eager =
       done;
       !ok)
 
+let prop_tracker_churn_sequences =
+  (* churn-shaped op mix — interleaved joins, leaves and AP failures —
+     with the edge cases the move-based fuzz above rarely hits: APs
+     drained to empty member sets (an AP failure detaches everyone, in
+     ascending user order, exactly as Online.fail_ap does) and the
+     last receiver of a session leaving one user at a time. The tracker
+     must stay bit-identical to the eager scan after every single op. *)
+  QCheck.Test.make ~name:"Tracker survives interleaved join/leave/fail"
+    ~count:60 arb_problem (fun p ->
+      let rng = Random.State.make [| 43 |] in
+      let n_aps, n_users = Problem.dims p in
+      let assoc = Association.empty ~n_users in
+      let tr = Loads.Tracker.create p assoc in
+      let ok = ref true in
+      let check () =
+        let eager = Loads.ap_loads p assoc in
+        Array.iteri
+          (fun a l ->
+            if not (Float.equal l (Loads.Tracker.ap_load tr a)) then
+              ok := false)
+          eager;
+        if
+          not
+            (Float.equal (Loads.total_load p assoc)
+               (Loads.Tracker.total_load tr))
+          || not
+               (Float.equal (Loads.max_load p assoc)
+                  (Loads.Tracker.max_load tr))
+        then ok := false
+      in
+      let join () =
+        let u = Random.State.int rng n_users in
+        match Problem.neighbor_aps p u with
+        | [] -> ()
+        | ns ->
+            Loads.Tracker.move tr ~user:u
+              ~ap:(List.nth ns (Random.State.int rng (List.length ns)));
+            check ()
+      in
+      let leave () =
+        match Association.served_users assoc with
+        | [] -> ()
+        | us ->
+            Loads.Tracker.unserve tr
+              ~user:(List.nth us (Random.State.int rng (List.length us)));
+            check ()
+      in
+      let fail_ap a =
+        (* detach every member, ascending — check after each unserve so
+           the "last receiver leaves" transition of every session on the
+           AP is exercised, down to the empty member set *)
+        List.iter
+          (fun u ->
+            Loads.Tracker.unserve tr ~user:u;
+            check ())
+          (Association.users_of assoc ~ap:a);
+        if not (Float.equal 0. (Loads.Tracker.ap_load tr a)) then ok := false
+      in
+      check ();
+      for _ = 1 to 60 do
+        match Random.State.int rng 5 with
+        | 0 | 1 -> join ()
+        | 2 -> leave ()
+        | _ when n_aps > 0 -> fail_ap (Random.State.int rng n_aps)
+        | _ -> ()
+      done;
+      (* drain everything: the whole network down to zero load *)
+      List.iter
+        (fun u ->
+          Loads.Tracker.unserve tr ~user:u;
+          check ())
+        (Association.served_users assoc);
+      if not (Float.equal 0. (Loads.Tracker.total_load tr)) then ok := false;
+      !ok)
+
 let prop_rate_adaptation_in_table =
   QCheck.Test.make ~name:"every generated link rate is a Table-1 rate"
     ~count:50 arb_problem (fun p ->
@@ -663,6 +738,7 @@ let qcheck_cases =
       prop_leaving_never_increases;
       prop_rate_adaptation_in_table;
       prop_tracker_matches_eager;
+      prop_tracker_churn_sequences;
       prop_scenario_io_roundtrip;
     ]
 
