@@ -381,6 +381,16 @@ let bench_label_arg =
     & info [ "bench-label" ] ~docv:"LABEL"
         ~doc:"Label stored in the --bench-json snapshot.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Enable the deterministic event-counter plane (DESIGN.md §4.9) \
+           around the run and print the counter table at exit. Counters \
+           never feed the --bench-json snapshot; wall times never feed \
+           the counters.")
+
 let write_bench_json ~path ~label ~baseline_path ~jobs ~quick ~seed =
   let baseline =
     match baseline_path with
@@ -416,9 +426,13 @@ let write_bench_json ~path ~label ~baseline_path ~jobs ~quick ~seed =
         (Harness.Bench_json.speedups ~baseline:b.entries ~current:snapshot)
 
 let main names scenarios small seed node_limit jobs quick csv bech bench_json
-    bench_baseline bench_label =
+    bench_baseline bench_label profile =
   csv_dir := csv;
   let jobs = Int.max 1 jobs in
+  if profile then begin
+    Wlan_obs.Counters.reset ();
+    Wlan_obs.Counters.set_enabled true
+  end;
   let cfg =
     {
       Harness.Experiments.scenarios = (if quick then 5 else scenarios);
@@ -454,6 +468,14 @@ let main names scenarios small seed node_limit jobs quick csv bech bench_json
       algorithm_timings ~quick ();
       write_bench_json ~path ~label:bench_label ~baseline_path:bench_baseline
         ~jobs ~quick ~seed);
+  if profile then begin
+    Wlan_obs.Counters.set_enabled false;
+    let report =
+      Wlan_obs.Report.make ~label:"bench" ~seed
+        ~scenarios:cfg.Harness.Experiments.scenarios ~targets:names
+    in
+    Fmt.pr "@.%a@." Wlan_obs.Report.pp_text report
+  end;
   let wall = now_s () -. t0 in
   Fmt.pr "@.total wall time: %.1fs (cpu %.1fs, %.2fx, jobs=%d)@." wall
     (Sys.time () -. c0)
@@ -469,6 +491,6 @@ let cmd =
     Term.(
       const main $ experiments_arg $ scenarios_arg $ small_arg $ seed_arg
       $ node_limit_arg $ jobs_arg $ quick_arg $ csv_arg $ bechamel_arg
-      $ bench_json_arg $ bench_baseline_arg $ bench_label_arg)
+      $ bench_json_arg $ bench_baseline_arg $ bench_label_arg $ profile_arg)
 
 let () = exit (Cmd.eval cmd)

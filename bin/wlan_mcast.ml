@@ -6,6 +6,7 @@
      simulate  full discrete-event run: scan, associate over the air, stream
      figures   reproduce paper figures, scenarios fanned out over --jobs
      churn     replay a churn & fault-injection script online
+     profile   run a workload with deterministic counters + wall-clock spans
      example   replay the paper's Figure 1 walk-throughs
 
    Try:
@@ -559,6 +560,151 @@ let churn_cmd =
       $ max_rounds $ no_baseline $ trace_file $ metrics_json $ metrics_csv
       $ fig4)
 
+(* ---------------- profile ---------------- *)
+
+(* The profile subcommand is the only place that touches both
+   observability planes: it turns the counter gate on around the
+   workload and installs the wall-clock sink (DESIGN.md §4.9). The
+   counter report is deterministic — byte-identical at any --jobs — and
+   is what --out writes; the span tree carries wall times and is
+   printed to stdout only, never into the JSON. *)
+
+let profile_cmd =
+  let ids = List.map fst Harness.Experiments.drivers in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:"Experiment drivers to profile (default: fig9a). Known: \
+                fig9a..fig12c and the ablate-*/ext-* studies.")
+  in
+  let scenarios =
+    Arg.(
+      value & opt int 10
+      & info [ "scenarios" ] ~doc:"Random scenarios per point.")
+  in
+  let seed =
+    Arg.(value & opt int 2007 & info [ "seed" ] ~doc:"Master seed.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains. Counter totals are a function of the \
+             submitted work only, so the report is byte-identical for \
+             every value of $(docv); only the span wall times change.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the deterministic counter report as JSON to FILE.")
+  in
+  let scenario_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"FILE"
+          ~doc:"Profile a churn replay of this saved scenario (with \
+                --script) instead of experiment drivers.")
+  in
+  let script_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Churn script to replay against --scenario (default: a \
+                script generated from --seed).")
+  in
+  let no_spans =
+    Arg.(
+      value & flag
+      & info [ "no-spans" ]
+          ~doc:"Skip the wall-clock span tree (counters only).")
+  in
+  let run () names scenarios seed jobs out scenario_file script_file no_spans
+      =
+    let jobs = Int.max 1 jobs in
+    if not no_spans then
+      Wlan_obs.Span.set_clock
+        (Some (fun () -> Int64.to_float (Monotonic_clock.now ()) /. 1e9));
+    Wlan_obs.Counters.reset ();
+    Wlan_obs.Span.reset ();
+    Wlan_obs.Counters.set_enabled true;
+    let label, targets =
+      match scenario_file with
+      | Some path ->
+          let sc = Scenario_io.of_file path in
+          let p = Scenario.to_problem sc in
+          let n_aps, n_users = Problem.dims p in
+          let script =
+            match script_file with
+            | Some f -> Scenario_io.churn_of_file f
+            | None ->
+                let rng = Random.State.make [| seed; churn_split_tag |] in
+                Churn_script.random ~rng ~n_aps ~n_users
+                  Churn_script.default_gen
+          in
+          let variants =
+            [
+              ("churn:mnu", Distributed.Min_total_load);
+              ("churn:bla", Distributed.Min_load_vector);
+              ("churn:mla", Distributed.Min_total_load);
+            ]
+          in
+          let () =
+            Harness.Pool.with_pool ~jobs @@ fun pool ->
+            ignore
+              (Harness.Pool.run pool
+                 (List.map
+                    (fun (label, obj) () ->
+                      Wlan_obs.Span.with_span label (fun () ->
+                          ignore
+                            (Wlan_sim.Churn.run ~mode:`Sequential
+                               ~baseline:false ~objective:obj ~script p)))
+                    variants))
+          in
+          (Filename.basename path, List.map fst variants)
+      | None ->
+          let cfg =
+            { Harness.Experiments.default_config with scenarios; seed; jobs }
+          in
+          let names = match names with [] -> [ "fig9a" ] | ns -> ns in
+          List.iter
+            (fun id ->
+              match List.assoc_opt id Harness.Experiments.drivers with
+              | Some f ->
+                  Wlan_obs.Span.with_span id (fun () ->
+                      ignore (f ?cfg:(Some cfg) ()))
+              | None ->
+                  Fmt.epr "unknown target %S (known: %a)@." id
+                    Fmt.(list ~sep:sp string)
+                    ids;
+                  exit 1)
+            names;
+          ("experiments", names)
+    in
+    Wlan_obs.Counters.set_enabled false;
+    let report = Wlan_obs.Report.make ~label ~seed ~scenarios ~targets in
+    Fmt.pr "%a@." Wlan_obs.Report.pp_text report;
+    if not no_spans then begin
+      Fmt.pr "@.wall-clock spans (nondeterministic, not in the report):@.";
+      Fmt.pr "%a@." Wlan_obs.Span.pp_tree (Wlan_obs.Span.tree ())
+    end;
+    Option.iter (fun f -> write_file f (Wlan_obs.Report.json report)) out
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run a workload with the observability planes on: deterministic \
+          event counters (reported as versioned JSON, byte-identical at \
+          any --jobs) plus a wall-clock span tree on stdout")
+    Term.(
+      const run $ verbose_term $ names $ scenarios $ seed $ jobs $ out
+      $ scenario_file $ script_file $ no_spans)
+
 (* ---------------- example ---------------- *)
 
 let example_cmd =
@@ -596,5 +742,6 @@ let () =
             analyze_cmd;
             figures_cmd;
             churn_cmd;
+            profile_cmd;
             example_cmd;
           ]))

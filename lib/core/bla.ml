@@ -14,6 +14,8 @@
 
 let name = "BLA-centralized"
 
+let c_runs = Wlan_obs.Counters.make "bla.runs"
+
 let src = Logs.Src.create "mcast.bla" ~doc:"Centralized BLA"
 
 module Log = (val Logs.src_log src : Logs.LOG)
@@ -39,6 +41,7 @@ let solution_of_scg p inst (r : Optkit.Scg.result) =
     ranks realized loads over only the evaluated runs. Defaults preserve
     the recorded experiment outputs bit-for-bit. *)
 let run ?(mode = `Soft) ?engine ?strategy ?fanout ?(n_guesses = 12) p =
+  Wlan_obs.Counters.incr c_runs;
   let inst = Reduction.cover_instance p in
   let universe = Reduction.coverable_users p in
   let grid = Optkit.Scg.default_grid ~n_guesses ~universe inst in

@@ -38,6 +38,15 @@ module Log = (val Logs.src_log src : Logs.LOG)
 type objective = Min_total_load | Min_load_vector
 type scheduler = Sequential | Simultaneous | Locked
 
+(* Deterministic event counters (DESIGN.md §4.9). Every scheduler scans
+   users in a fixed order and draws no randomness, so these totals are a
+   pure function of the run's inputs. *)
+let c_runs = Wlan_obs.Counters.make "distributed.runs"
+let c_rounds = Wlan_obs.Counters.make "distributed.rounds"
+let c_moves = Wlan_obs.Counters.make "distributed.moves"
+let c_decisions = Wlan_obs.Counters.make "distributed.decisions"
+let c_stay_memo_hits = Wlan_obs.Counters.make "distributed.stay_memo_hits"
+
 type outcome = {
   assoc : Association.t;
   rounds : int;  (** decision rounds executed *)
@@ -58,6 +67,7 @@ let vec_approx_equal a b =
    incremental {!Loads.Tracker} queries compute bit-identical floats, so
    the decision is the same under either backend. *)
 let decide_with p ~neighbors ~current ~if_joins ~if_leaves ~load ~objective u =
+  Wlan_obs.Counters.incr c_decisions;
   match neighbors with
   | [] -> None
   | _ ->
@@ -137,6 +147,7 @@ let decide_tracked p assoc tr ~neighbors ~objective u =
     ~objective u
 
 let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
+  Wlan_obs.Counters.incr c_runs;
   let n_aps, n_users = Problem.dims p in
   let assoc =
     match init with
@@ -172,7 +183,10 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
      stay is recorded under [s]; [None] for a memoised stay. *)
   let decide_memo u =
     let s = stamp u in
-    if stay_stamp.(u) = s then None
+    if stay_stamp.(u) = s then begin
+      Wlan_obs.Counters.incr c_stay_memo_hits;
+      None
+    end
     else begin
       let d = decide_tracked p assoc tr ~neighbors:neighbors.(u) ~objective u in
       if d = None then stay_stamp.(u) <- s;
@@ -253,6 +267,8 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
         done;
         if not !moved then converged := true
       done);
+  Wlan_obs.Counters.add c_rounds !rounds;
+  Wlan_obs.Counters.add c_moves !moves;
   Log.debug (fun m ->
       m "finished: rounds %d, moves %d, converged %b, oscillated %b" !rounds
         !moves !converged !oscillated);
@@ -287,6 +303,16 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
     function of (problem, script, objective, mode). *)
 
 module Online = struct
+  (* Deterministic event counters: the online layer iterates users and
+     APs in ascending index order, so dirty-set sizes at round starts
+     evolve deterministically and are safe to aggregate. *)
+  let c_settles = Wlan_obs.Counters.make "online.settles"
+  let c_settle_rounds = Wlan_obs.Counters.make "online.settle_rounds"
+  let c_settle_moves = Wlan_obs.Counters.make "online.settle_moves"
+  let c_deltas = Wlan_obs.Counters.make "online.deltas"
+  let c_dirty_scanned = Wlan_obs.Counters.make "online.dirty_scanned"
+  let c_dirty_peak = Wlan_obs.Counters.make "online.dirty_peak"
+
   type t = {
     p : Problem.t;
         (* working copy: the rate rows are owned and mutated on drift *)
@@ -402,6 +428,7 @@ module Online = struct
       no-op deltas (arriving twice, failing a dead AP) change nothing. *)
 
   let arrive t ~user =
+    Wlan_obs.Counters.incr c_deltas;
     if t.present.(user) then false
     else begin
       t.present.(user) <- true;
@@ -410,6 +437,7 @@ module Online = struct
     end
 
   let depart t ~user =
+    Wlan_obs.Counters.incr c_deltas;
     if not t.present.(user) then `Absent
     else begin
       t.present.(user) <- false;
@@ -424,6 +452,7 @@ module Online = struct
     end
 
   let fail_ap t ~ap =
+    Wlan_obs.Counters.incr c_deltas;
     if not t.alive.(ap) then `Dead
     else begin
       t.alive.(ap) <- false;
@@ -439,6 +468,7 @@ module Online = struct
     end
 
   let recover_ap t ~ap =
+    Wlan_obs.Counters.incr c_deltas;
     if t.alive.(ap) then false
     else begin
       t.alive.(ap) <- true;
@@ -453,6 +483,11 @@ module Online = struct
       stale value; a link pushed to [0.] forcibly unserves the user
       ([`Detached], a session interruption). *)
   let set_rate t ~user ~ap rate =
+    (* [rate < 0.] is false for nan, so clamping alone would let a nan
+       rate through to the load division — reject it explicitly *)
+    if Float.is_nan rate then
+      invalid_arg "Online.set_rate: rate must not be nan";
+    Wlan_obs.Counters.incr c_deltas;
     let rate = if rate < 0. then 0. else rate in
     let old = t.p.Problem.rates.(ap).(user) in
     if Float.equal old rate then `Unchanged
@@ -506,6 +541,7 @@ module Online = struct
       and reported. Already-quiescent states return in O(1) with
       [rounds = 0]. *)
   let settle ?(max_rounds = 200) ?(mode = `Sequential) t =
+    Wlan_obs.Counters.incr c_settles;
     let n_users = Array.length t.assoc in
     let before = Association.copy t.assoc in
     let rounds = ref 0 and moves = ref 0 in
@@ -516,6 +552,8 @@ module Online = struct
           if t.n_dirty = 0 then converged := true
           else begin
             incr rounds;
+            Wlan_obs.Counters.add c_dirty_scanned t.n_dirty;
+            Wlan_obs.Counters.record_max c_dirty_peak t.n_dirty;
             for u = 0 to n_users - 1 do
               if t.dirty.(u) then begin
                 clear t u;
@@ -537,6 +575,8 @@ module Online = struct
           if t.n_dirty = 0 then converged := true
           else begin
             incr rounds;
+            Wlan_obs.Counters.add c_dirty_scanned t.n_dirty;
+            Wlan_obs.Counters.record_max c_dirty_peak t.n_dirty;
             (* decide the whole round on one snapshot, then apply *)
             let decisions = ref [] in
             for u = n_users - 1 downto 0 do
@@ -557,6 +597,8 @@ module Online = struct
                 else Hashtbl.replace seen key ()
           end
         done);
+    Wlan_obs.Counters.add c_settle_rounds !rounds;
+    Wlan_obs.Counters.add c_settle_moves !moves;
     let reassociated = ref 0 in
     Array.iteri
       (fun u a -> if a <> before.(u) then incr reassociated)

@@ -8,6 +8,8 @@
 
 let name = "MLA-centralized"
 
+let c_runs = Wlan_obs.Counters.make "mla.runs"
+
 let solution_of ~algorithm p inst (r : Optkit.Set_cover.result) =
   let assoc =
     Reduction.association_of_selections p inst
@@ -18,6 +20,7 @@ let solution_of ~algorithm p inst (r : Optkit.Set_cover.result) =
   Solution.make ~algorithm p assoc
 
 let run p =
+  Wlan_obs.Counters.incr c_runs;
   let inst = Reduction.cover_instance p in
   let universe = Reduction.coverable_users p in
   solution_of ~algorithm:name p inst (Optkit.Set_cover.greedy ~universe inst)
@@ -26,6 +29,7 @@ let run p =
     where [f] is the largest number of (AP, session, rate) subsets any one
     user appears in — a constant when users hear a bounded number of APs. *)
 let run_layered p =
+  Wlan_obs.Counters.incr c_runs;
   let inst = Reduction.cover_instance p in
   let universe = Reduction.coverable_users p in
   solution_of ~algorithm:"MLA-layered" p inst
@@ -35,6 +39,7 @@ let run_layered p =
     use on small / medium instances only. [None] if the LP solver fails
     (never happens on coverable instances). *)
 let run_lp_rounding p =
+  Wlan_obs.Counters.incr c_runs;
   let inst = Reduction.cover_instance p in
   let universe = Reduction.coverable_users p in
   Option.map

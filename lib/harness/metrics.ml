@@ -88,6 +88,87 @@ let json ~seed runs =
   Buffer.add_string b "  ]\n}\n";
   Buffer.contents b
 
+(* RFC-4180 field quoting: a field containing a comma, a double quote or
+   a line break is wrapped in double quotes, with embedded quotes
+   doubled. The JSON [escape] above is not suitable here — CSV has no
+   backslash escapes. *)
+let csv_escape s =
+  let hostile = function ',' | '"' | '\n' | '\r' -> true | _ -> false in
+  if not (String.exists hostile s) then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
+(* RFC-4180 parser for the round-trip tests (and any tooling that reads
+   our own CSV back): rows of fields, quoted fields may contain commas,
+   doubled quotes and line breaks. Accepts both \n and \r\n row ends;
+   a trailing newline does not produce an empty row. *)
+let csv_parse text =
+  let rows = ref [] and row = ref [] and field = Buffer.create 32 in
+  let n = String.length text in
+  let flush_field () =
+    row := Buffer.contents field :: !row;
+    Buffer.clear field
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !row :: !rows;
+    row := []
+  in
+  let i = ref 0 in
+  (* chars consumed since the last row flush — distinguishes a trailing
+     empty quoted field from a trailing newline *)
+  let pending = ref false in
+  while !i < n do
+    (match text.[!i] with
+    | '"' ->
+        pending := true;
+        (* quoted field: consume to the closing quote *)
+        incr i;
+        let closed = ref false in
+        while not !closed do
+          if !i >= n then invalid_arg "Metrics.csv_parse: unclosed quote"
+          else if text.[!i] = '"' then
+            if !i + 1 < n && text.[!i + 1] = '"' then begin
+              Buffer.add_char field '"';
+              i := !i + 2
+            end
+            else begin
+              closed := true;
+              incr i
+            end
+          else begin
+            Buffer.add_char field text.[!i];
+            incr i
+          end
+        done
+    | ',' ->
+        pending := true;
+        flush_field ();
+        incr i
+    | '\r' when !i + 1 < n && text.[!i + 1] = '\n' ->
+        pending := false;
+        flush_row ();
+        i := !i + 2
+    | '\n' ->
+        pending := false;
+        flush_row ();
+        incr i
+    | c ->
+        pending := true;
+        Buffer.add_char field c;
+        incr i)
+  done;
+  if !pending then flush_row ();
+  List.rev !rows
+
 let csv_header =
   "label,time,events,reassociated,interrupted,rounds,moves,converged,\
    oscillated,total_load,max_load,opt_total_load,opt_max_load,\
@@ -108,7 +189,7 @@ let csv runs =
         (fun (s : Churn.step) ->
           Buffer.add_string b
             (Printf.sprintf "%s,%s,%d,%d,%d,%d,%d,%b,%b,%s,%s,%s,%s,%s,%s\n"
-               r.label (csv_float s.time) s.events s.reassociated
+               (csv_escape r.label) (csv_float s.time) s.events s.reassociated
                s.interrupted s.rounds s.moves s.converged s.oscillated
                (csv_float s.total_load)
                (csv_float s.max_load)

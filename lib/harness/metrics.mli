@@ -23,5 +23,16 @@ val json : seed:int -> run list -> string
 
 val csv_header : string
 
-(** One row per step per run. *)
+(** One row per step per run. Fields are RFC-4180 quoted: a label
+    containing a comma, quote or line break is wrapped in double quotes
+    with embedded quotes doubled, so hostile labels cannot corrupt the
+    column layout. *)
 val csv : run list -> string
+
+(** RFC-4180 field quoting of one value (identity on tame strings). *)
+val csv_escape : string -> string
+
+(** Parse RFC-4180 CSV text into rows of fields (inverse of {!csv}'s
+    framing). Raises [Invalid_argument] on an unterminated quoted
+    field. *)
+val csv_parse : string -> string list list

@@ -99,8 +99,16 @@ let with_pool ~jobs f =
 
 type 'a outcome = Ok of 'a | Exn of exn * Printexc.raw_backtrace
 
+(* Deterministic event counters (DESIGN.md §4.9), recorded on the
+   submission side: which domain executes a task is scheduling noise, but
+   what gets submitted is a pure function of the caller's inputs. *)
+let c_batches = Wlan_obs.Counters.make "pool.batches"
+let c_tasks = Wlan_obs.Counters.make "pool.tasks"
+
 let run t fs =
   if t.stopped then invalid_arg "Pool.run: pool is shut down";
+  Wlan_obs.Counters.incr c_batches;
+  Wlan_obs.Counters.add c_tasks (List.length fs);
   match fs with
   | [] -> []
   | fs when t.jobs = 1 || List.length fs = 1 ->

@@ -11,6 +11,15 @@
     half covering more elements, yielding the 8-approximation of Theorem 2
     (the greedy H is a 4-approximation, and max(H1, H2) ≥ H/2). *)
 
+(* Deterministic event counters (DESIGN.md §4.9). The greedy loop is
+   purely sequential, so these totals are trivially scheduling-free. *)
+let c_runs = Wlan_obs.Counters.make "mcg.runs"
+let c_rounds = Wlan_obs.Counters.make "mcg.rounds"
+let c_selections = Wlan_obs.Counters.make "mcg.selections"
+let c_candidate_evals = Wlan_obs.Counters.make "mcg.candidate_evals"
+let c_heap_pops = Wlan_obs.Counters.make "mcg.heap_pops"
+let c_bound_skips = Wlan_obs.Counters.make "mcg.bound_skips"
+
 type selection = { set : int; newly : Bitset.t }
 
 type result = {
@@ -88,9 +97,18 @@ let greedy ?(mode = `Soft) ?(engine = `Classic) ?element_weights inst ~budgets
     | Some u -> Bitset.inter u (Cover_instance.coverable inst)
     | None -> Cover_instance.coverable inst
   in
+  (* local event accumulators, flushed to the counter plane once at the
+     end: plain int refs keep the greedy inner loop free of even the
+     gated atomic load, and the flushed totals are identical *)
+  let n_rounds = ref 0
+  and n_selections = ref 0
+  and n_candidate_evals = ref 0
+  and n_heap_pops = ref 0
+  and n_bound_skips = ref 0 in
   let x' = Bitset.copy x0 in
   (* weighted gain of covering [S ∩ X'] *)
   let gain_of j =
+    incr n_candidate_evals;
     let s = Cover_instance.set inst j in
     match element_weights with
     | None -> float_of_int (Bitset.inter_cardinal s x')
@@ -167,7 +185,9 @@ let greedy ?(mode = `Soft) ?(engine = `Classic) ?element_weights inst ~budgets
   let rec candidate g =
     match Lazy_heap.pop_max heaps.(g) ~revalidate with
     | None -> None
-    | Some (j, prio) -> if fits g j then Some (j, prio) else candidate g
+    | Some (j, prio) ->
+        incr n_heap_pops;
+        if fits g j then Some (j, prio) else candidate g
   in
   (* full rescan of one group: best fresh score, lower index on ties *)
   let candidate_eager g =
@@ -191,6 +211,7 @@ let greedy ?(mode = `Soft) ?(engine = `Classic) ?element_weights inst ~budgets
   let eligible g = spent.(g) < budgets.(g) -. 1e-12 in
   let continue = ref true in
   while !continue && not (Bitset.is_empty x') do
+    incr n_rounds;
     (* the paper's inner for-loop: best candidate of each eligible group *)
     let popped = ref [] in
     (match engine with
@@ -233,7 +254,8 @@ let greedy ?(mode = `Soft) ?(engine = `Classic) ?element_weights inst ~budgets
             else
               match Lazy_heap.top_bound heaps.(g) with
               | None -> ()
-              | Some b when b < !best_prio -. skip_margin -> ()
+              | Some b when b < !best_prio -. skip_margin ->
+                  incr n_bound_skips
               | Some _ -> (
                   match candidate g with
                   | None -> ()
@@ -269,6 +291,7 @@ let greedy ?(mode = `Soft) ?(engine = `Classic) ?element_weights inst ~budgets
               (fun (g, j', prio) ->
                 if j' <> j then Lazy_heap.push heaps.(g) ~prio j')
               !popped);
+        incr n_selections;
         let g = Cover_instance.group inst j in
         let c = Cover_instance.cost inst j in
         spent.(g) <- spent.(g) +. c;
@@ -291,6 +314,12 @@ let greedy ?(mode = `Soft) ?(engine = `Classic) ?element_weights inst ~budgets
       let g = Cover_instance.group inst j in
       group_cost.(g) <- group_cost.(g) +. Cover_instance.cost inst j)
     kept;
+  Wlan_obs.Counters.incr c_runs;
+  Wlan_obs.Counters.add c_rounds !n_rounds;
+  Wlan_obs.Counters.add c_selections !n_selections;
+  Wlan_obs.Counters.add c_candidate_evals !n_candidate_evals;
+  Wlan_obs.Counters.add c_heap_pops !n_heap_pops;
+  Wlan_obs.Counters.add c_bound_skips !n_bound_skips;
   { kept; raw_order; covered; group_cost }
 
 (** Number of elements the solution covers. *)

@@ -11,6 +11,12 @@
     and keeps the feasible solution minimizing the realized maximum group
     cost. *)
 
+(* Deterministic event counters (DESIGN.md §4.9). Grid probes may run on
+   pool domains, but the probe set is jobs-independent, so totals are too. *)
+let c_solves = Wlan_obs.Counters.make "scg.solves"
+let c_rounds = Wlan_obs.Counters.make "scg.rounds"
+let c_grid_probes = Wlan_obs.Counters.make "scg.grid_probes"
+
 type result = {
   bstar : float;
   rounds : Mcg.result list;  (** one MCG result per iteration *)
@@ -33,6 +39,7 @@ let max_group_cost r = Array.fold_left Float.max 0. r.group_cost
     infeasible (the default universe is everything coverable).
     [engine] is passed through to {!Mcg.greedy}. *)
 let solve_for ?(mode = `Soft) ?engine inst ~bstar ?universe () =
+  Wlan_obs.Counters.incr c_solves;
   let x0 =
     match universe with
     | Some u -> Bitset.copy u
@@ -48,6 +55,7 @@ let solve_for ?(mode = `Soft) ?engine inst ~bstar ?universe () =
   (try
      for _ = 1 to k do
        if Bitset.is_empty remaining then raise Exit;
+       Wlan_obs.Counters.incr c_rounds;
        let r = Mcg.greedy ~mode ?engine inst ~budgets ~universe:remaining () in
        if Bitset.is_empty r.covered then raise Exit (* no progress: infeasible *);
        rounds := r :: !rounds;
@@ -120,7 +128,10 @@ let default_grid ?(n_guesses = 12) ?universe inst =
       [fanout] is unused: each probe depends on the previous verdict. *)
 let solve_grid ?mode ?engine ?(strategy = `Exhaustive)
     ?(fanout = List.map (fun f -> f ())) inst ?universe ~grid () =
-  let run bstar = solve_for ?mode ?engine inst ~bstar ?universe () in
+  let run bstar =
+    Wlan_obs.Counters.incr c_grid_probes;
+    solve_for ?mode ?engine inst ~bstar ?universe ()
+  in
   let results =
     match strategy with
     | `Exhaustive -> fanout (List.map (fun bstar () -> run bstar) grid)

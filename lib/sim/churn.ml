@@ -23,6 +23,14 @@ let src = Logs.Src.create "sim.churn" ~doc:"Churn replay"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
+(* Deterministic event counters (DESIGN.md §4.9): a replay is a pure
+   function of (problem, script, objective, mode, init), so so are these. *)
+let c_runs = Wlan_obs.Counters.make "churn.runs"
+let c_steps = Wlan_obs.Counters.make "churn.steps"
+let c_events = Wlan_obs.Counters.make "churn.events"
+let c_interrupted = Wlan_obs.Counters.make "churn.interrupted"
+let c_baseline_solves = Wlan_obs.Counters.make "churn.baseline_solves"
+
 (** Disruption record of one quiescence: the initial convergence
     ([events = 0]) or one script step. *)
 type step = {
@@ -87,11 +95,20 @@ let drifted_rate ~tiers rate steps =
 
 let run ?init ?(mode = `Sequential) ?(max_rounds = 200) ?trace
     ?(baseline = true) ?tiers ~objective ~script p =
+  Wlan_obs.Counters.incr c_runs;
   let n_aps, n_users = Problem.dims p in
   let script = Churn_script.validate ~n_aps ~n_users script in
   let tiers =
     match tiers with
-    | Some ts -> List.sort (fun a b -> Float.compare b a) ts
+    | Some ts ->
+        List.iter
+          (fun r ->
+            if not (Float.is_finite r) || r <= 0. then
+              invalid_arg
+                (Fmt.str "Churn.run: rate tier %g (tiers must be finite and \
+                          positive)" r))
+          ts;
+        List.sort (fun a b -> Float.compare b a) ts
     | None -> Rate_table.rates Rate_table.default
   in
   let trace = match trace with Some t -> t | None -> Trace.create () in
@@ -100,6 +117,9 @@ let run ?init ?(mode = `Sequential) ?(max_rounds = 200) ?trace
   let steps_acc = ref [] in
   (* Settle once and record the disruption metrics of this quiescence. *)
   let settle_step ~time ~events ~interrupted =
+    Wlan_obs.Counters.incr c_steps;
+    Wlan_obs.Counters.add c_events events;
+    Wlan_obs.Counters.add c_interrupted interrupted;
     let stats = Distributed.Online.settle ~max_rounds ~mode net in
     Trace.log trace ~time
       (Trace.Settle
@@ -112,6 +132,7 @@ let run ?init ?(mode = `Sequential) ?(max_rounds = 200) ?trace
     let opt_total, opt_max =
       if not baseline then (Float.nan, Float.nan)
       else begin
+        Wlan_obs.Counters.incr c_baseline_solves;
         let eff = Distributed.Online.effective_problem net in
         let o =
           Distributed.run ~max_rounds ~scheduler:Distributed.Sequential

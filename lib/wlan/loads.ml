@@ -79,17 +79,30 @@ let compare_load_vectors (a : float array) (b : float array) =
   in
   go 0
 
-(** Like {!compare_load_vectors} but entries within [eps] are considered
-    equal — decision rules must use this so that float summation-order noise
-    (different agents adding the same loads in different orders) can never
-    flip a strict-improvement test. *)
+(** Like {!compare_load_vectors} but a difference within [eps] at the
+    {e first differing entry} makes the vectors compare equal — decision
+    rules must use this so that float summation-order noise (different
+    agents adding the same loads in different orders) can never flip a
+    strict-improvement test.
+
+    Exactly equal entries are skipped; the comparison is decided at the
+    first entry where the vectors differ at all: by [eps]-equality if the
+    difference is within [eps], by sign otherwise. The strict order this
+    induces is transitive — [a < b] means a common exact prefix followed
+    by a gap greater than [eps] — unlike the earlier variant that kept
+    scanning past sub-[eps] differences, which made ≈ chains intransitive
+    (a≈b, b≈c, a≉c) and let the distributed BLA rule judge a move an
+    improvement in both directions. *)
 let compare_load_vectors_eps ?(eps = 1e-9) (a : float array) (b : float array)
     =
   let n = Int.min (Array.length a) (Array.length b) in
   let rec go i =
     if i = n then Int.compare (Array.length a) (Array.length b)
-    else if Float.abs (a.(i) -. b.(i)) <= eps then go (i + 1)
-    else Float.compare a.(i) b.(i)
+    else
+      let c = Float.compare a.(i) b.(i) in
+      if c = 0 then go (i + 1)
+      else if Float.abs (a.(i) -. b.(i)) <= eps then 0
+      else c
   in
   go 0
 
@@ -150,6 +163,13 @@ module Tracker = struct
   let eager_load_if_joins = load_if_joins
   let eager_load_if_leaves = load_if_leaves
 
+  (* Deterministic event counters (DESIGN.md §4.9): tracker mutations are
+     driven by index-ordered scans, so totals are scheduling-independent. *)
+  let c_joins = Wlan_obs.Counters.make "tracker.joins"
+  let c_leaves = Wlan_obs.Counters.make "tracker.leaves"
+  let c_min_recomputes = Wlan_obs.Counters.make "tracker.min_recomputes"
+  let c_hypotheticals = Wlan_obs.Counters.make "tracker.hypotheticals"
+
   module Fmap = Map.Make (Float)
 
   let ms_add x m =
@@ -183,6 +203,7 @@ module Tracker = struct
     t.total_dirty <- true
 
   let join_internal t ~user ~ap =
+    Wlan_obs.Counters.incr c_joins;
     let r = Problem.link_rate t.p ~ap ~user in
     if not (r > 0.) then
       invalid_arg "Loads.Tracker: join with non-positive link rate";
@@ -194,10 +215,12 @@ module Tracker = struct
     refresh_ap_load t ap
 
   let leave_internal t ~user ~ap =
+    Wlan_obs.Counters.incr c_leaves;
     let r = Problem.link_rate t.p ~ap ~user in
     let s = Problem.user_session t.p user in
     let m = ms_remove r t.members.(ap).(s) in
     t.members.(ap).(s) <- m;
+    Wlan_obs.Counters.incr c_min_recomputes;
     t.tx.(ap).(s) <-
       (match Fmap.min_binding_opt m with None -> 0. | Some (r', _) -> r');
     refresh_ap_load t ap
@@ -259,6 +282,7 @@ module Tracker = struct
     !load
 
   let load_if_joins t ~user ~ap =
+    Wlan_obs.Counters.incr c_hypotheticals;
     if t.assoc.(user) = ap then t.loads.(ap)
     else
       let r = Problem.link_rate t.p ~ap ~user in
@@ -274,6 +298,7 @@ module Tracker = struct
         sum_with t ~ap ~s hyp
 
   let load_if_leaves t ~user ~ap =
+    Wlan_obs.Counters.incr c_hypotheticals;
     if t.assoc.(user) <> ap then t.loads.(ap)
     else
       let r = Problem.link_rate t.p ~ap ~user in

@@ -31,9 +31,12 @@ val sorted_load_vector : float array -> float array
 (** Exact lexicographic comparison of non-increasing load vectors. *)
 val compare_load_vectors : float array -> float array -> int
 
-(** Like {!compare_load_vectors} but entries within [eps] (default 1e-9)
-    compare equal — decision rules must use this so float summation-order
-    noise can never flip a strict-improvement test. *)
+(** Like {!compare_load_vectors} but a sub-[eps] difference (default
+    [eps = 1e-9]) at the first differing entry makes the vectors compare
+    equal — decision rules must use this so float summation-order noise
+    can never flip a strict-improvement test. Exactly equal entries are
+    skipped, so the induced strict order (common exact prefix, then a
+    gap > [eps]) is transitive. *)
 val compare_load_vectors_eps : ?eps:float -> float array -> float array -> int
 
 (** Every AP within the per-AP multicast budget (tolerance [eps]). *)

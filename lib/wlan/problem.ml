@@ -52,27 +52,40 @@ let validate t =
       if s < 0 || s >= Array.length t.session_rates then
         fail "user references unknown session %d" s)
     t.user_session;
+  (* [r <= 0.] and [r < 0.] are false for nan, so the finiteness check
+     must be explicit — a nan or infinite rate would reach the load
+     division in {!Loads.tx_rates} and poison every comparison *)
   Array.iter
-    (fun r -> if r <= 0. then fail "non-positive session rate %g" r)
+    (fun r ->
+      if not (Float.is_finite r) || r <= 0. then
+        fail "session rate %g (must be finite and positive)" r)
     t.session_rates;
   if Array.length t.rates <> t.n_aps then fail "rates has wrong AP dimension";
   Array.iter
     (fun row ->
       if Array.length row <> t.n_users then fail "rates row has wrong length";
-      Array.iter (fun r -> if r < 0. then fail "negative link rate %g" r) row)
+      Array.iter
+        (fun r ->
+          if not (Float.is_finite r) || r < 0. then
+            fail "link rate %g (must be finite and non-negative)" r)
+        row)
     t.rates;
   if Array.length t.signal <> t.n_aps then fail "signal has wrong AP dimension";
   Array.iter
     (fun row ->
       if Array.length row <> t.n_users then fail "signal row has wrong length")
     t.signal;
-  if t.budget < 0. then fail "negative budget %g" t.budget;
+  if Float.is_nan t.budget || t.budget < 0. then
+    fail "negative budget %g" t.budget;
   (match t.ap_budgets with
   | None -> ()
   | Some b ->
       if Array.length b <> t.n_aps then
         fail "ap_budgets length %d <> n_aps %d" (Array.length b) t.n_aps;
-      Array.iter (fun x -> if x < 0. then fail "negative AP budget %g" x) b);
+      Array.iter
+        (fun x ->
+          if Float.is_nan x || x < 0. then fail "negative AP budget %g" x)
+        b);
   t
 
 (** [make ~session_rates ~user_session ~rates ~budget ()] builds and

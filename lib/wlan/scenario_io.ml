@@ -88,10 +88,17 @@ let of_string text =
                    (fun e ->
                      match String.split_on_char ':' e with
                      | [ r; t ] ->
-                         {
-                           Rate_table.rate_mbps = float_of r;
-                           threshold_m = float_of t;
-                         }
+                         let rate_mbps = float_of r in
+                         let threshold_m = float_of t in
+                         (* catch bad rates here with a line-level error
+                            rather than deep inside Rate_table/Loads *)
+                         if not (Float.is_finite rate_mbps) || rate_mbps <= 0.
+                         then fail "non-positive rate in rate entry %S" e;
+                         if
+                           not (Float.is_finite threshold_m)
+                           || threshold_m <= 0.
+                         then fail "non-positive threshold in rate entry %S" e;
+                         { Rate_table.rate_mbps; threshold_m }
                      | _ -> fail "bad rate entry %S" e)
                    entries)
         | "sessions" :: rs ->
@@ -99,7 +106,11 @@ let of_string text =
               Some
                 (Array.of_list
                    (List.mapi
-                      (fun id r -> Session.make ~id ~rate_mbps:(float_of r))
+                      (fun id r ->
+                        let rate_mbps = float_of r in
+                        if not (Float.is_finite rate_mbps) || rate_mbps <= 0.
+                        then fail "non-positive session rate %S" r;
+                        Session.make ~id ~rate_mbps)
                       rs))
         | [ "ap"; x; y ] -> aps := Point.v (float_of x) (float_of y) :: !aps
         | [ "user"; x; y; s ] ->

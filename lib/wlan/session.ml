@@ -8,7 +8,9 @@
 type t = { id : int; rate_mbps : float }
 
 let make ~id ~rate_mbps =
-  if rate_mbps <= 0. then invalid_arg "Session.make: rate must be positive";
+  (* [<= 0.] is false for nan: require finiteness explicitly *)
+  if not (Float.is_finite rate_mbps) || rate_mbps <= 0. then
+    invalid_arg "Session.make: rate must be positive";
   if id < 0 then invalid_arg "Session.make: id must be non-negative";
   { id; rate_mbps }
 

@@ -311,6 +311,72 @@ let test_golden_fig4 () =
           ]))
 
 (* ------------------------------------------------------------------ *)
+(* Metrics CSV: RFC-4180 quoting round-trips hostile labels            *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_csv_hostile_labels () =
+  let p = Examples.fig4 in
+  let o =
+    Wlan_sim.Churn.run ~init:Examples.fig4_initial ~mode:`Sequential
+      ~baseline:false
+      ~tiers:(Problem.distinct_rates p)
+      ~objective:Distributed.Min_total_load
+      ~script:(Churn_script.make []) p
+  in
+  let labels =
+    [
+      "plain";
+      "with,comma";
+      "with \"quotes\"";
+      "multi\nline";
+      "crlf\r\nlabel";
+      ",\",\"";
+    ]
+  in
+  let runs =
+    List.map
+      (fun label ->
+        {
+          Harness.Metrics.label;
+          objective = "min-total-load";
+          mode = "sequential";
+          outcome = o;
+        })
+      labels
+  in
+  let text = Harness.Metrics.csv runs in
+  let rows = Harness.Metrics.csv_parse text in
+  let header, body =
+    match rows with
+    | h :: b -> (h, b)
+    | [] -> Alcotest.fail "empty CSV"
+  in
+  let n_cols = List.length header in
+  Alcotest.(check int) "header column count" 15 n_cols;
+  let steps = List.length o.Wlan_sim.Churn.steps in
+  Alcotest.(check int) "row count"
+    (List.length labels * steps)
+    (List.length body);
+  List.iter
+    (fun row ->
+      Alcotest.(check int) "every row keeps the column layout" n_cols
+        (List.length row))
+    body;
+  (* labels come back verbatim, in run order, [steps] rows each *)
+  let expected =
+    List.concat_map (fun l -> List.init steps (fun _ -> l)) labels
+  in
+  Alcotest.(check (list string)) "labels round-trip" expected
+    (List.map List.hd body);
+  (* quoting is the identity on tame fields and minimal on hostile ones *)
+  Alcotest.(check string) "tame identity" "plain"
+    (Harness.Metrics.csv_escape "plain");
+  Alcotest.(check string) "comma quoted" "\"with,comma\""
+    (Harness.Metrics.csv_escape "with,comma");
+  Alcotest.(check string) "quote doubled" "\"say \"\"hi\"\"\""
+    (Harness.Metrics.csv_escape "say \"hi\"")
+
+(* ------------------------------------------------------------------ *)
 (* Script model and serialization                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -362,6 +428,37 @@ let test_script_rejects () =
         (Churn_script.make
            [ { Churn_script.time = -1.; event = Join { user = 0 } } ]))
 
+(* The dynamic path must reject broken rates just like the static one:
+   a nan rate installed via set_rate, or a non-positive/non-finite rate
+   tier handed to Churn.run, would silently corrupt every subsequent
+   load comparison. *)
+let test_rates_rejected () =
+  let p = Examples.fig4 in
+  let net = Distributed.Online.create ~objective:Distributed.Min_total_load p in
+  Alcotest.check_raises "nan set_rate"
+    (Invalid_argument "Online.set_rate: rate must not be nan") (fun () ->
+      ignore (Distributed.Online.set_rate net ~user:0 ~ap:0 Float.nan));
+  let run tiers () =
+    ignore
+      (Wlan_sim.Churn.run ~init:Examples.fig4_initial ~mode:`Sequential
+         ~baseline:false ~tiers ~objective:Distributed.Min_total_load
+         ~script:(Churn_script.make []) p)
+  in
+  let rejects what tiers =
+    try
+      run tiers ();
+      Alcotest.failf "accepted %s tier" what
+    with Invalid_argument msg ->
+      Alcotest.(check bool)
+        (what ^ " error names the tier")
+        true
+        (String.length msg >= 9 && String.sub msg 0 9 = "Churn.run")
+  in
+  rejects "zero" [ 0. ];
+  rejects "negative" [ 54.; -6. ];
+  rejects "nan" [ Float.nan ];
+  rejects "infinite" [ Float.infinity ]
+
 let test_script_steps () =
   let s =
     Churn_script.make
@@ -411,6 +508,16 @@ let () =
           Alcotest.test_case "demo scenario, j1 = j4 = digest" `Quick
             test_golden_demo;
           Alcotest.test_case "fig4 trace digest" `Quick test_golden_fig4;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "CSV quotes hostile labels" `Quick
+            test_metrics_csv_hostile_labels;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "bad rates rejected on dynamic path" `Quick
+            test_rates_rejected;
         ] );
       ( "script",
         [

@@ -288,10 +288,87 @@ let prop_bla_vector_potential_decreases =
       done;
       !ok)
 
+(* The eps comparator underpins both Lemmas: were its strict order
+   intransitive (the pre-fix behavior: sub-eps differences skipped
+   entry-by-entry could chain a≈b, b≈c, a≉c), a cycle of "improving"
+   moves could revisit an earlier association. Replay the sequential
+   loop move by move through the public decision rule and check that no
+   association state ever recurs. *)
+let prop_sequential_never_revisits =
+  QCheck.Test.make
+    ~name:"no sequential run revisits a seen association" ~count:40
+    arb_problem (fun p ->
+      let objectives = [ Distributed.Min_total_load; Min_load_vector ] in
+      List.for_all
+        (fun objective ->
+          let _, n_users = Problem.dims p in
+          let assoc = Association.empty ~n_users in
+          let seen = Hashtbl.create 64 in
+          Hashtbl.replace seen (Array.to_list assoc) ();
+          let fresh = ref true in
+          (try
+             for _round = 1 to 100 do
+               let moved = ref false in
+               for u = 0 to n_users - 1 do
+                 let loads = Loads.ap_loads p assoc in
+                 match Distributed.decide p assoc ~loads ~objective u with
+                 | None -> ()
+                 | Some ap ->
+                     assoc.(u) <- ap;
+                     moved := true;
+                     let key = Array.to_list assoc in
+                     if Hashtbl.mem seen key then begin
+                       fresh := false;
+                       raise Exit
+                     end
+                     else Hashtbl.replace seen key ()
+               done;
+               if not !moved then raise Exit
+             done
+           with Exit -> ());
+          !fresh)
+        objectives)
+
+(* Directly pin the transitivity of the comparator's strict order on
+   near-tie vectors — the regression the fix above closes. (eps-equality
+   itself cannot be transitive for any tolerance comparator: sub-eps
+   steps chain; what matters for convergence is that a cycle of strict
+   improvements is impossible.) *)
+let prop_eps_compare_transitive =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 6 in
+      let* base = list_size (return n) (float_bound_inclusive 2.) in
+      let* deltas =
+        list_size (return (3 * n)) (float_bound_inclusive 2e-9)
+      in
+      return (base, deltas))
+  in
+  QCheck.Test.make ~name:"eps comparator is transitive on near-ties"
+    ~count:500
+    (QCheck.make gen)
+    (fun (base, deltas) ->
+      let d = Array.of_list deltas in
+      let n = List.length base in
+      let vec k =
+        Loads.sorted_load_vector
+          (Array.of_list
+             (List.mapi (fun i x -> x +. d.((k * n) + i)) base))
+      in
+      let a = vec 0 and b = vec 1 and c = vec 2 in
+      let cab = Loads.compare_load_vectors_eps a b
+      and cbc = Loads.compare_load_vectors_eps b c
+      and cac = Loads.compare_load_vectors_eps a c in
+      (* a < b and b < c must give a < c (and by symmetry for >) *)
+      (not (cab < 0 && cbc < 0) || cac < 0)
+      && (not (cab > 0 && cbc > 0) || cac > 0))
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
       prop_bla_vector_potential_decreases;
+      prop_sequential_never_revisits;
+      prop_eps_compare_transitive;
       prop_sequential_mnu_converges;
       prop_sequential_bla_converges;
       prop_locked_converges;

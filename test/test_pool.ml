@@ -76,6 +76,63 @@ let test_shutdown () =
     (Invalid_argument "Pool.run: pool is shut down") (fun () ->
       ignore (Pool.run pool [ (fun () -> ()) ]))
 
+(* ---------------- failure paths ----------------
+   A failing batch must not lose in-flight work, wedge the pool, or leak
+   worker domains. The runtime caps live domains (~128), so the leak
+   tests simply cycle enough 4-job pools that a single unjoined worker
+   per cycle would exhaust the cap and make Domain.spawn raise. *)
+
+let test_failed_batch_runs_every_task () =
+  Pool.with_pool ~jobs:4 @@ fun pool ->
+  let ran = Atomic.make 0 in
+  let fs =
+    List.init 40 (fun i () ->
+        Atomic.incr ran;
+        if i mod 13 = 3 then raise (Boom i) else i)
+  in
+  (* parallel path: exceptions are captured per task, so the failures at
+     3, 16, 29 don't abandon the cursor — every task still executes *)
+  Alcotest.check_raises "earliest failure re-raised" (Boom 3) (fun () ->
+      ignore (Pool.run pool fs));
+  Alcotest.(check int) "no in-flight task lost" 40 (Atomic.get ran)
+
+let test_sequential_stops_at_first_failure () =
+  Pool.with_pool ~jobs:1 @@ fun pool ->
+  let ran = Atomic.make 0 in
+  let fs =
+    List.init 20 (fun i () ->
+        Atomic.incr ran;
+        if i = 5 then raise (Boom 5) else i)
+  in
+  (* jobs=1 is plain List.map: the exception propagates before job 6
+     starts — the documented sequential contract *)
+  Alcotest.check_raises "failure propagates" (Boom 5) (fun () ->
+      ignore (Pool.run pool fs));
+  Alcotest.(check int) "tasks after the failure never started" 6
+    (Atomic.get ran)
+
+let test_failed_batches_leak_no_domains () =
+  (* 80 cycles x 3 workers = 240 spawns, far past the domain cap: this
+     only passes if shutdown joins every worker even after the batch
+     failed *)
+  for i = 1 to 80 do
+    try
+      Pool.with_pool ~jobs:4 @@ fun pool ->
+      ignore
+        (Pool.run pool
+           (List.init 8 (fun k () -> if k = 2 then raise (Boom i) else k)))
+    with Boom _ -> ()
+  done
+
+let test_with_pool_reraises_and_joins () =
+  Alcotest.check_raises "callback exception propagates" (Boom 99) (fun () ->
+      Pool.with_pool ~jobs:4 (fun _ -> raise (Boom 99)));
+  (* the finally-shutdown joined the workers: 60 more failing cycles
+     (180 spawns) stay under the domain cap only if it did *)
+  for _ = 1 to 60 do
+    try Pool.with_pool ~jobs:4 (fun _ -> raise (Boom 0)) with Boom _ -> ()
+  done
+
 let test_invalid_jobs () =
   Alcotest.check_raises "jobs must be positive"
     (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
@@ -107,6 +164,15 @@ let () =
         [
           tc "jobs=1" (test_first_exception 1);
           tc "jobs=4" (test_first_exception 4);
+        ] );
+      ( "failure paths",
+        [
+          tc "failed batch runs every task" test_failed_batch_runs_every_task;
+          tc "jobs=1 stops at first failure"
+            test_sequential_stops_at_first_failure;
+          tc "failed batches leak no domains"
+            test_failed_batches_leak_no_domains;
+          tc "with_pool re-raises and joins" test_with_pool_reraises_and_joins;
         ] );
       ( "lifecycle",
         [

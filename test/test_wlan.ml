@@ -199,10 +199,42 @@ let test_problem_validate_rejects () =
       (Problem.make ~session_rates:[| -1. |] ~user_session:[| 0 |]
          ~rates:[| [| 1. |] |] ~budget:1. ())
   in
-  try
-    bad_rate ();
-    Alcotest.fail "expected Invalid_argument"
-  with Invalid_argument _ -> ()
+  (try
+     bad_rate ();
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  (* nan slips past [r <= 0.]/[r < 0.] comparisons (both are false), and
+     inf survives the division in Loads.tx_rates — both must be rejected
+     at construction so they can never poison a load comparison *)
+  let rejects what mk =
+    try
+      ignore (mk ());
+      Alcotest.failf "accepted %s" what
+    with Invalid_argument _ -> ()
+  in
+  rejects "nan session rate" (fun () ->
+      Problem.make ~session_rates:[| Float.nan |] ~user_session:[| 0 |]
+        ~rates:[| [| 1. |] |] ~budget:1. ());
+  rejects "infinite session rate" (fun () ->
+      Problem.make
+        ~session_rates:[| Float.infinity |]
+        ~user_session:[| 0 |] ~rates:[| [| 1. |] |] ~budget:1. ());
+  rejects "zero session rate" (fun () ->
+      Problem.make ~session_rates:[| 0. |] ~user_session:[| 0 |]
+        ~rates:[| [| 1. |] |] ~budget:1. ());
+  rejects "nan link rate" (fun () ->
+      Problem.make ~session_rates:[| 1. |] ~user_session:[| 0 |]
+        ~rates:[| [| Float.nan |] |]
+        ~budget:1. ());
+  rejects "infinite link rate" (fun () ->
+      Problem.make ~session_rates:[| 1. |] ~user_session:[| 0 |]
+        ~rates:[| [| Float.infinity |] |]
+        ~budget:1. ());
+  rejects "nan budget" (fun () ->
+      Problem.make ~session_rates:[| 1. |] ~user_session:[| 0 |]
+        ~rates:[| [| 1. |] |] ~budget:Float.nan ());
+  rejects "nan session rate via Session.make" (fun () ->
+      Session.make ~id:0 ~rate_mbps:Float.nan)
 
 (* ------------------------------------------------------------------ *)
 (* Association & Loads                                                *)
@@ -461,7 +493,18 @@ let test_scenario_io_rejects_garbage () =
   bad "wlan-mcast-scenario 99\n";
   bad "wlan-mcast-scenario 1\nmystery line\n";
   (* missing sections *)
-  bad "wlan-mcast-scenario 1\narea 10 10\n"
+  bad "wlan-mcast-scenario 1\narea 10 10\n";
+  (* non-positive / non-finite rates must fail at parse time with a
+     line-level error, before they can reach the load division *)
+  let preamble = "wlan-mcast-scenario 1\narea 10 10\nbudget 0.9\n" in
+  bad (preamble ^ "rates 54:35 0:60\nsessions 1\nap 1 1\nuser 2 2 0\n");
+  bad (preamble ^ "rates 54:35 -6:60\nsessions 1\nap 1 1\nuser 2 2 0\n");
+  bad (preamble ^ "rates nan:35\nsessions 1\nap 1 1\nuser 2 2 0\n");
+  bad (preamble ^ "rates 54:0\nsessions 1\nap 1 1\nuser 2 2 0\n");
+  bad (preamble ^ "rates 54:35\nsessions 0\nap 1 1\nuser 2 2 0\n");
+  bad (preamble ^ "rates 54:35\nsessions -1\nap 1 1\nuser 2 2 0\n");
+  bad (preamble ^ "rates 54:35\nsessions nan\nap 1 1\nuser 2 2 0\n");
+  bad (preamble ^ "rates 54:35\nsessions inf\nap 1 1\nuser 2 2 0\n")
 
 let test_scenario_io_file () =
   let rng = Random.State.make [| 34 |] in
