@@ -298,6 +298,54 @@ let algorithm_timings ~quick () =
         algorithms)
     scales
 
+(* City-scale rows (PR 6): 2000 APs × 40000 users across 20 districts,
+   compiled sparse through the bucket grid — the dense rate matrix
+   (2000 × 40000 floats, ~640 MB) is never allocated. Distributed rounds
+   are capped so the snapshot tracks per-round cost at this scale; the
+   sharded rows solve the geometric plan's districts on pool domains and
+   are bit-identical to each other at any job count. *)
+let city_timings ~quick () =
+  let module C = Mcast_core in
+  let rounds = if quick then 1 else 4 in
+  let sc =
+    Wlan_model.Scenario_gen.city ~seed:99 Wlan_model.Scenario_gen.city_default
+  in
+  let time id f =
+    let t0 = now_s () and c0 = Sys.time () in
+    f ();
+    let wall = now_s () -. t0 and cpu = Sys.time () -. c0 in
+    Fmt.pr "%-44s %8.1f ms@." id (wall *. 1e3);
+    record_entry id ~wall ~cpu
+  in
+  let problem = ref None in
+  time "city:compile-sparse@2000x40000" (fun () ->
+      problem := Some (Wlan_model.Scenario.to_problem_sparse sc));
+  let p = Option.get !problem in
+  let n_aps, n_users = Wlan_model.Problem.dims p in
+  time (Fmt.str "alg:mnu-distributed@%dx%d" n_aps n_users) (fun () ->
+      ignore
+        (C.Distributed.mnu ~max_rounds:rounds
+           (Wlan_model.Problem.with_budget p 0.05)));
+  time (Fmt.str "alg:bla-distributed@%dx%d" n_aps n_users) (fun () ->
+      ignore (C.Distributed.bla ~max_rounds:rounds p));
+  let plan =
+    C.Shard.plan_geometric ~ap_pos:sc.Wlan_model.Scenario.ap_pos
+      ~interaction_radius:
+        (2. *. Wlan_model.Rate_table.range sc.Wlan_model.Scenario.rate_table)
+      p
+  in
+  List.iter
+    (fun jobs ->
+      time
+        (Fmt.str "alg:bla-distributed-sharded-j%d@%dx%d" jobs n_aps n_users)
+        (fun () ->
+          ignore
+            (Harness.Pool.with_pool ~jobs (fun pool ->
+                 C.Shard.solve ~plan ~fanout:(Harness.Pool.run pool)
+                   ~max_rounds:rounds ~objective:C.Distributed.Min_load_vector
+                   p))))
+    (List.sort_uniq compare [ 1; Harness.Pool.default_jobs () ])
+
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -359,12 +407,12 @@ let bechamel_arg =
 let bench_json_arg =
   Arg.(
     value
-    & opt ~vopt:(Some "BENCH_PR3.json") (some string) None
+    & opt ~vopt:(Some "BENCH_PR6.json") (some string) None
     & info [ "bench-json" ] ~docv:"FILE"
         ~doc:
           "Write a performance snapshot (experiment wall times, \
            per-algorithm solve times, bechamel estimates when --bechamel \
-           is also given) as JSON to $(docv) (default: BENCH_PR3.json).")
+           is also given) as JSON to $(docv) (default: BENCH_PR6.json).")
 
 let bench_baseline_arg =
   Arg.(
@@ -377,7 +425,7 @@ let bench_baseline_arg =
 
 let bench_label_arg =
   Arg.(
-    value & opt string "PR3"
+    value & opt string "PR6"
     & info [ "bench-label" ] ~docv:"LABEL"
         ~doc:"Label stored in the --bench-json snapshot.")
 
@@ -466,6 +514,7 @@ let main names scenarios small seed node_limit jobs quick csv bech bench_json
   | None -> ()
   | Some path ->
       algorithm_timings ~quick ();
+      city_timings ~quick ();
       write_bench_json ~path ~label:bench_label ~baseline_path:bench_baseline
         ~jobs ~quick ~seed);
   if profile then begin

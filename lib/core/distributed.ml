@@ -111,7 +111,8 @@ let decide_with p ~neighbors ~current ~if_joins ~if_leaves ~load ~objective u =
                 if vec_lt v bv then (a, v)
                 else if
                   vec_approx_equal v bv
-                  && Problem.(p.signal.(a).(u) > p.signal.(ba).(u) +. 1e-12)
+                  && Problem.signal p ~ap:a ~user:u
+                     > Problem.signal p ~ap:ba ~user:u +. 1e-12
                 then (a, v)
                 else (ba, bv))
               (List.hd scored) (List.tl scored)
@@ -345,7 +346,7 @@ module Online = struct
 
   let create ?init ?present ~objective p =
     let n_aps, n_users = Problem.dims p in
-    let p = { p with Problem.rates = Array.map Array.copy p.Problem.rates } in
+    let p = Problem.copy_for_mutation p in
     let present =
       match present with
       | Some pr ->
@@ -402,7 +403,7 @@ module Online = struct
 
   (** The live link rate — reads the working copy that {!set_rate}
       mutates, not the instance [create] was given. *)
-  let link_rate t ~ap ~user = t.p.Problem.rates.(ap).(user)
+  let link_rate t ~ap ~user = Problem.link_rate t.p ~ap ~user
 
   (* A dead AP answers no queries: it simply drops out of everyone's
      neighborhood. Filtering the ascending base list preserves order, so
@@ -489,12 +490,15 @@ module Online = struct
       invalid_arg "Online.set_rate: rate must not be nan";
     Wlan_obs.Counters.incr c_deltas;
     let rate = if rate < 0. then 0. else rate in
-    let old = t.p.Problem.rates.(ap).(user) in
+    let old = Problem.link_rate t.p ~ap ~user in
     if Float.equal old rate then `Unchanged
     else begin
       let attached = t.assoc.(user) = ap in
       if attached then Loads.Tracker.unserve t.tr ~user;
-      t.p.Problem.rates.(ap).(user) <- rate;
+      (* on a sparse instance this raises when the pair was never in
+         range — the slot structure cannot grow a link (churn drift only
+         ever touches links that exist, so replays never hit this) *)
+      Problem.set_link_rate t.p ~ap ~user rate;
       (if (old > 0.) <> (rate > 0.) then
          if rate > 0. then begin
            t.neighbors.(user) <- List.sort Int.compare (ap :: t.neighbors.(user));
@@ -612,19 +616,12 @@ module Online = struct
     }
 
   (** The static instance the network currently embodies: the working
-      rate matrix with dead-AP rows and absent-user columns zeroed. A
-      fresh {!run} on it is the "what a from-scratch solve would have
-      done" baseline the disruption metrics compare against, and the
+      link structure with dead-AP and absent-user links zeroed. A fresh
+      {!run} on it is the "what a from-scratch solve would have done"
+      baseline the disruption metrics compare against, and the
       quiescence oracle's ground truth. *)
   let effective_problem t =
-    let rates =
-      Array.mapi
-        (fun a row ->
-          if not t.alive.(a) then Array.make (Array.length row) 0.
-          else Array.mapi (fun u r -> if t.present.(u) then r else 0.) row)
-        t.p.Problem.rates
-    in
-    { t.p with Problem.rates }
+    Problem.masked t.p ~ap_alive:t.alive ~user_present:t.present
 end
 
 (** {1 The paper's three distributed algorithms} *)

@@ -34,35 +34,38 @@ let cover_instance ?(filter_over_budget = false) p =
   let sets = ref [] and costs = ref [] and groups = ref [] and pay = ref [] in
   let n_sets = ref 0 in
   for a = 0 to n_aps - 1 do
+    (* one member-list pass groups the AP's receivers by session; on a
+       sparse instance this costs O(members), never O(n_users). Members
+       arrive in ascending user order; prepending makes the per-session
+       lists descending, which the bitset fill below doesn't care about. *)
+    let by_session = Array.make n_sessions [] in
+    Problem.iter_members p a (fun u r ->
+        let s = Problem.user_session p u in
+        by_session.(s) <- (u, r) :: by_session.(s));
     for s = 0 to n_sessions - 1 do
-      (* distinct link rates of session-s users reachable from a *)
+      let members = by_session.(s) in
+      (* distinct link rates of session-s users reachable from a; the
+         ascending FS.iter below reproduces the dense generation order *)
       let module FS = Set.Make (Float) in
-      let rates = ref FS.empty in
-      for u = 0 to n_users - 1 do
-        if Problem.user_session p u = s then begin
-          let r = Problem.link_rate p ~ap:a ~user:u in
-          if r > 0. then rates := FS.add r !rates
-        end
-      done;
+      let rates =
+        List.fold_left (fun acc (_, r) -> FS.add r acc) FS.empty members
+      in
       FS.iter
         (fun t ->
           let cost = Problem.session_rate p s /. t in
           if (not filter_over_budget) || cost <= Problem.ap_budget p a +. 1e-12
           then begin
             let set = Optkit.Bitset.create n_users in
-            for u = 0 to n_users - 1 do
-              if
-                Problem.user_session p u = s
-                && Problem.link_rate p ~ap:a ~user:u >= t
-              then Optkit.Bitset.add set u
-            done;
+            List.iter
+              (fun (u, r) -> if r >= t then Optkit.Bitset.add set u)
+              members;
             sets := set :: !sets;
             costs := cost :: !costs;
             groups := a :: !groups;
             pay := { ap = a; session = s; tx_rate = t } :: !pay;
             incr n_sets
           end)
-        !rates
+        rates
     done
   done;
   let sets = Array.of_list (List.rev !sets) in

@@ -1,0 +1,264 @@
+(** Geometric sharding of association-control instances (DESIGN.md §4.10).
+
+    The paper's local decision rule only ever couples a user to the APs
+    in its radio range, and two APs only ever interact when some user
+    hears both — which, ranges being hard (~200 m for 802.11a), requires
+    the APs to sit within {e twice the radio range} of each other. A
+    city-scale deployment therefore decomposes into {e interaction
+    components}: groups of APs connected through shared users, with no
+    load or decision flowing between groups. Each component can be
+    solved on its own [Harness.Pool] domain and the partial associations
+    merged back — and because the sequential distributed dynamics never
+    cross a component boundary, the merged association is {e byte
+    identical} to the unsharded solve, at any job count (pinned by the
+    golden digests in [test/test_sparse.ml]).
+
+    Two planners produce the decomposition:
+    - {!plan} unions APs through the instance's actual candidate lists —
+      exact, representation-agnostic, needs no geometry;
+    - {!plan_geometric} unions APs lying within the interaction radius
+      (2 × range) of each other, found through a {!Wlan_model.Sparse.Grid}
+      whose probes reach one cell — the {e halo zone} — beyond every cell
+      boundary, so cross-shard AP pairs are never missed. Pure geometry,
+      O(APs) grid work; a superset of {!plan}'s coupling, hence equally
+      exact.
+
+    Equivalence holds whenever the unsharded run converges: a capped
+    [max_rounds] is shared globally by an unsharded run but granted
+    per-shard here, so truncated runs may legitimately differ. *)
+
+open Wlan_model
+
+(* Deterministic event counters (DESIGN.md §4.9): planning and merging
+   iterate APs, users and shards in ascending order, so these totals are
+   pure functions of the instance (merge order is submission order even
+   on a pool, see Harness.Pool). *)
+let c_plans = Wlan_obs.Counters.make "shard.plans"
+let c_components = Wlan_obs.Counters.make "shard.components"
+let c_halo_reconciles = Wlan_obs.Counters.make "shard.halo_reconciles"
+
+type shard = {
+  id : int;  (** dense shard index, ascending by smallest AP index *)
+  aps : int array;  (** global AP indices, ascending *)
+  users : int array;  (** global user indices, ascending *)
+}
+
+type plan = {
+  shards : shard list;  (** ascending [id]; every shard has >= 1 user *)
+  idle_aps : int array;  (** APs no present user can hear, ascending *)
+  uncovered : int array;  (** users with an empty candidate list, ascending *)
+}
+
+(* Union-find over AP indices, path compression, smaller root wins —
+   the representative of a component is its smallest AP index, which
+   makes shard numbering input-order independent. *)
+let rec find parent a =
+  if parent.(a) = a then a
+  else begin
+    let r = find parent parent.(a) in
+    parent.(a) <- r;
+    r
+  end
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra < rb then parent.(rb) <- ra else if rb < ra then parent.(ra) <- rb
+
+(* Group APs and users by component root. [root_of_user u] must give the
+   component of ALL of [u]'s candidates (the planners guarantee it). *)
+let plan_of_roots p parent =
+  let n_aps, n_users = Problem.dims p in
+  let user_root = Array.make n_users (-1) in
+  for u = 0 to n_users - 1 do
+    Problem.iter_candidates p u (fun a _ _ ->
+        let r = find parent a in
+        if user_root.(u) = -1 then user_root.(u) <- r
+        else if user_root.(u) <> r then
+          (* only reachable through a mis-parameterized geometric plan:
+             the interaction radius failed to couple two APs one user
+             hears — solving such a plan would not be equivalent *)
+          Fmt.kstr invalid_arg
+            "Shard.plan: user %d hears APs of two different shards \
+             (interaction radius too small?)"
+            u)
+  done;
+  (* shard ids in ascending order of component root = smallest AP; only
+     components some user hears become shards *)
+  let id_of_root = Hashtbl.create 16 in
+  let n_shards = ref 0 in
+  let live = Array.make n_aps false in
+  Array.iter (fun r -> if r >= 0 then live.(r) <- true) user_root;
+  for a = 0 to n_aps - 1 do
+    let r = find parent a in
+    if live.(r) && not (Hashtbl.mem id_of_root r) then begin
+      Hashtbl.add id_of_root r !n_shards;
+      incr n_shards
+    end
+  done;
+  let ap_acc = Array.make !n_shards []
+  and user_acc = Array.make !n_shards []
+  and idle = ref []
+  and uncov = ref [] in
+  for a = n_aps - 1 downto 0 do
+    let r = find parent a in
+    if live.(r) then
+      let id = Hashtbl.find id_of_root r in
+      ap_acc.(id) <- a :: ap_acc.(id)
+    else idle := a :: !idle
+  done;
+  for u = n_users - 1 downto 0 do
+    if user_root.(u) = -1 then uncov := u :: !uncov
+    else
+      let id = Hashtbl.find id_of_root user_root.(u) in
+      user_acc.(id) <- u :: user_acc.(id)
+  done;
+  let shards =
+    List.init !n_shards (fun id ->
+        {
+          id;
+          aps = Array.of_list ap_acc.(id);
+          users = Array.of_list user_acc.(id);
+        })
+  in
+  Wlan_obs.Counters.incr c_plans;
+  Wlan_obs.Counters.add c_components !n_shards;
+  {
+    shards;
+    idle_aps = Array.of_list !idle;
+    uncovered = Array.of_list !uncov;
+  }
+
+(** Interaction components from the instance's candidate lists: two APs
+    share a shard iff connected through a chain of users hearing both
+    ends of each link. Exact on both representations. *)
+let plan p =
+  let n_aps, n_users = Problem.dims p in
+  let parent = Array.init n_aps Fun.id in
+  for u = 0 to n_users - 1 do
+    let first = ref (-1) in
+    Problem.iter_candidates p u (fun a _ _ ->
+        if !first = -1 then first := a else union parent !first a)
+  done;
+  plan_of_roots p parent
+
+(** Interaction components from pure geometry: APs within
+    [interaction_radius] (use 2 × the rate table's range) are coupled.
+    The bucket grid's 3×3 probe block is the halo: every cross-cell pair
+    within the radius is examined, none missed — including pairs at
+    exactly the radius or straddling a cell edge. A superset of {!plan}'s
+    coupling (any user hearing APs [a] and [b] places them within
+    2 × range of each other by the triangle inequality), hence equally
+    exact for solving.
+    @raise Invalid_argument if some user's candidates end up in two
+    shards — the radius was smaller than twice the effective range. *)
+let plan_geometric ~ap_pos ~interaction_radius p =
+  let n_aps, _ = Problem.dims p in
+  if Array.length ap_pos <> n_aps then
+    invalid_arg "Shard.plan_geometric: ap_pos arity mismatch";
+  let parent = Array.init n_aps Fun.id in
+  if n_aps > 0 && interaction_radius > 0. then begin
+    let grid = Sparse.Grid.build ~cell:interaction_radius ap_pos in
+    for a = 0 to n_aps - 1 do
+      List.iter
+        (fun b ->
+          if
+            b > a
+            && Point.dist ap_pos.(a) ap_pos.(b) <= interaction_radius
+          then union parent a b)
+        (Sparse.Grid.probe grid ap_pos.(a))
+    done
+  end;
+  plan_of_roots p parent
+
+(** The sub-instance a shard solves: the shard's APs and users reindexed
+    densely (order-preserving, so every iteration the solvers perform
+    happens in the same relative order as in the full instance), the
+    {e full} session table (so per-session load sums use identical float
+    expressions), and the shard's slice of any per-AP budgets. Always
+    sparse — built from candidate lists, the dense matrix is never
+    allocated. *)
+let extract p sh =
+  let n_aps, _ = Problem.dims p in
+  let ap_local = Array.make n_aps (-1) in
+  Array.iteri (fun la a -> ap_local.(a) <- la) sh.aps;
+  let links =
+    Array.map
+      (fun u ->
+        let acc = ref [] in
+        Problem.iter_candidates p u (fun a r sg ->
+            acc := (ap_local.(a), r, sg) :: !acc);
+        List.rev !acc)
+      sh.users
+  in
+  let sparse = Sparse.make ~n_aps:(Array.length sh.aps) ~links in
+  let user_session = Array.map (Problem.user_session p) sh.users in
+  let ap_budgets =
+    Option.map
+      (fun b -> Array.map (fun a -> b.(a)) sh.aps)
+      p.Problem.ap_budgets
+  in
+  Problem.make_sparse ?ap_budgets
+    ~session_rates:(Array.copy p.Problem.session_rates)
+    ~user_session ~sparse ~budget:(Problem.budget p) ()
+
+type result = {
+  assoc : Association.t;  (** merged global association *)
+  rounds : int;  (** max shard rounds (shards run concurrently) *)
+  moves : int;  (** total moves across shards *)
+  converged : bool;  (** every shard converged *)
+  n_shards : int;
+}
+
+(** [solve ~objective p] plans (unless given one), solves every shard
+    independently with [Distributed.run ~scheduler:Sequential], and
+    merges the partial associations in ascending shard order. [fanout]
+    runs the per-shard thunks — inject [Harness.Pool.run pool] to spread
+    shards over domains; the default runs them in place. Results are
+    consumed in submission order either way, so the merged association
+    is identical at any job count, and — whenever the runs converge —
+    identical to the unsharded sequential solve. Uncovered users stay
+    unserved, exactly as they would unsharded. *)
+let solve ?plan:pl ?(fanout = List.map (fun f -> f ())) ?max_rounds ~objective
+    p =
+  let pl = match pl with Some x -> x | None -> plan p in
+  let _, n_users = Problem.dims p in
+  let outcomes =
+    fanout
+      (List.map
+         (fun sh () ->
+           Distributed.run ?max_rounds ~scheduler:Distributed.Sequential
+             ~objective (extract p sh))
+         pl.shards)
+  in
+  let assoc = Association.empty ~n_users in
+  let rounds = ref 0 and moves = ref 0 and converged = ref true in
+  List.iter2
+    (fun sh (o : Distributed.outcome) ->
+      Wlan_obs.Counters.incr c_halo_reconciles;
+      Array.iteri
+        (fun lu la ->
+          if la <> Association.none then
+            assoc.(sh.users.(lu)) <- sh.aps.(la))
+        o.Distributed.assoc;
+      rounds := Int.max !rounds o.Distributed.rounds;
+      moves := !moves + o.Distributed.moves;
+      converged := !converged && o.Distributed.converged)
+    pl.shards outcomes;
+  {
+    assoc;
+    rounds = !rounds;
+    moves = !moves;
+    converged = !converged;
+    n_shards = List.length pl.shards;
+  }
+
+let pp_plan ppf pl =
+  Fmt.pf ppf "@[<v>%d shards (%d idle APs, %d uncovered users)@,%a@]"
+    (List.length pl.shards)
+    (Array.length pl.idle_aps)
+    (Array.length pl.uncovered)
+    Fmt.(
+      list ~sep:cut (fun ppf sh ->
+          pf ppf "shard %d: %d APs, %d users" sh.id (Array.length sh.aps)
+            (Array.length sh.users)))
+    pl.shards

@@ -1,0 +1,71 @@
+(** Geometric sharding: decompose an instance into interaction
+    components (AP groups no load or decision ever crosses), solve each
+    independently — optionally on [Harness.Pool] domains via [fanout] —
+    and merge deterministically. Whenever the runs converge, the merged
+    association is byte-identical to the unsharded sequential solve, at
+    any job count. See DESIGN.md §4.10.
+
+    Emits deterministic counters: [shard.plans], [shard.components],
+    [shard.halo_reconciles] (one per shard merged back). *)
+
+open Wlan_model
+
+type shard = {
+  id : int;  (** dense shard index, ascending by smallest AP index *)
+  aps : int array;  (** global AP indices, ascending *)
+  users : int array;  (** global user indices, ascending *)
+}
+
+type plan = {
+  shards : shard list;  (** ascending [id]; every shard has >= 1 user *)
+  idle_aps : int array;  (** APs no present user can hear, ascending *)
+  uncovered : int array;  (** users with an empty candidate list, ascending *)
+}
+
+(** Interaction components from the instance's candidate lists: two APs
+    share a shard iff connected through a chain of users hearing both.
+    Exact on both representations; O(links · α). *)
+val plan : Problem.t -> plan
+
+(** Interaction components from pure geometry: APs within
+    [interaction_radius] of each other are coupled, discovered through a
+    {!Wlan_model.Sparse.Grid} whose 3×3 probe block is the halo zone —
+    cross-cell pairs at exactly the radius or on cell edges are never
+    missed. Pass 2 × the rate table's range: any user hearing two APs
+    places them within that distance (triangle inequality), so this is
+    a superset of {!plan}'s coupling and equally exact for solving.
+    @raise Invalid_argument if some user's candidates span two shards
+    (the radius was smaller than twice the effective range). *)
+val plan_geometric :
+  ap_pos:Point.t array -> interaction_radius:float -> Problem.t -> plan
+
+(** The sub-instance a shard solves: shard APs/users reindexed densely
+    (order-preserving), the full session table, sliced per-AP budgets.
+    Always sparse — the dense matrix is never allocated. *)
+val extract : Problem.t -> shard -> Problem.t
+
+type result = {
+  assoc : Association.t;  (** merged global association *)
+  rounds : int;  (** max shard rounds (shards run concurrently) *)
+  moves : int;  (** total moves across shards *)
+  converged : bool;  (** every shard converged *)
+  n_shards : int;
+}
+
+(** [solve ~objective p] plans (unless [plan] is given), solves every
+    shard with [Distributed.run ~scheduler:Sequential ?max_rounds], and
+    merges in ascending shard order. [fanout] runs the per-shard thunks
+    (default: in place; inject [Harness.Pool.run pool] for domain
+    parallelism — results are consumed in submission order, so the
+    output is identical at any job count). Uncovered users stay
+    unserved. *)
+val solve :
+  ?plan:plan ->
+  ?fanout:
+    ((unit -> Distributed.outcome) list -> Distributed.outcome list) ->
+  ?max_rounds:int ->
+  objective:Distributed.objective ->
+  Problem.t ->
+  result
+
+val pp_plan : Format.formatter -> plan -> unit

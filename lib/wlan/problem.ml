@@ -1,38 +1,70 @@
 (** An abstract association-control problem instance.
 
     This is the canonical input to every algorithm in [Mcast_core]: the link
-    rate matrix between APs and users, each user's requested session, the
+    structure between APs and users, each user's requested session, the
     session stream rates, and the per-AP multicast load budget. It abstracts
     away geometry — instances come either from a geometric {!Scenario} (via
     rate adaptation) or are written down directly (the paper's worked
     examples and NP-hardness constructions specify link rates explicitly).
 
+    Since PR 6 the link structure has two interchangeable representations
+    behind the {!view} accessor:
+    - {e dense}: the classic (AP × user) [rates]/[signal] matrices, with
+      [0.] meaning out of range — what the paper's 200×400 experiments use;
+    - {e sparse}: {!Sparse.t} candidate/member lists exploiting the hard
+      radio reach of the 802.11 rate tables, the only form that scales to
+      city-size (2000×40000 and beyond) instances, where the dense matrix
+      would not even allocate.
+
+    Every accessor below is representation-agnostic and — by construction
+    and by the differential battery in [test/test_sparse.ml] — returns
+    bit-identical results on both forms of the same instance.
+
     Conventions:
     - APs and users are dense integer indices.
-    - [rates.(a).(u)] is the maximum link data rate in Mbps from AP [a] to
-      user [u]; [0.] means the user is out of the AP's range.
-    - [signal.(a).(u)] ranks signal strength for the SSA baseline (higher is
-      stronger); by default it equals the link rate, and geometric scenarios
-      install [-. distance] so that "strongest signal" = "nearest AP". *)
+    - A link rate is the maximum data rate in Mbps from AP to user; [0.]
+      (dense) or an absent/lost slot (sparse) means out of range.
+    - Signal ranks strength for the SSA baseline (higher is stronger); by
+      default it equals the link rate, and geometric scenarios install
+      [-. distance] so that "strongest signal" = "nearest AP". *)
+
+type repr =
+  | Dense of { rates : float array array; signal : float array array }
+  | Sparse of Sparse.t
 
 type t = {
   n_aps : int;
   n_users : int;
   session_rates : float array;  (** session index -> stream rate (Mbps) *)
   user_session : int array;  (** user index -> session index *)
-  rates : float array array;  (** [rates.(a).(u)]: max link rate, 0. = out of range *)
-  signal : float array array;  (** [signal.(a).(u)]: higher = stronger *)
+  repr : repr;  (** the link structure — access through {!view} *)
   budget : float;  (** default per-AP multicast load limit, in [0, 1] *)
   ap_budgets : float array option;
       (** optional heterogeneous per-AP budgets overriding [budget] *)
+  allow_uncovered : bool;
+      (** when false (the default for hand-written instances), {!validate}
+          rejects users with an empty candidate list; geometric paths set
+          it, since random placement legitimately strands users *)
 }
 
 let dims t = (t.n_aps, t.n_users)
 let n_sessions t = Array.length t.session_rates
 let session_rate t s = t.session_rates.(s)
 let user_session t u = t.user_session.(u)
-let link_rate t ~ap ~user = t.rates.(ap).(user)
-let in_range t ~ap ~user = t.rates.(ap).(user) > 0.
+let view t = t.repr
+let is_sparse t = match t.repr with Dense _ -> false | Sparse _ -> true
+
+let link_rate t ~ap ~user =
+  match t.repr with
+  | Dense d -> d.rates.(ap).(user)
+  | Sparse s -> Sparse.link_rate s ~ap ~user
+
+let signal t ~ap ~user =
+  match t.repr with
+  | Dense d -> d.signal.(ap).(user)
+  | Sparse s -> Sparse.signal s ~ap ~user
+
+let in_range t ~ap ~user = link_rate t ~ap ~user > 0.
 let budget t = t.budget
 
 (** The multicast budget of one AP: its entry in [ap_budgets] when
@@ -40,7 +72,59 @@ let budget t = t.budget
 let ap_budget t a =
   match t.ap_budgets with Some b -> b.(a) | None -> t.budget
 
-(** Structural validation; raises [Invalid_argument] on malformed instances. *)
+(** [iter_candidates t u f] calls [f ap rate signal] for every AP in
+    range of user [u], in ascending AP order. *)
+let iter_candidates t u f =
+  match t.repr with
+  | Dense d ->
+      for a = 0 to t.n_aps - 1 do
+        let r = d.rates.(a).(u) in
+        if r > 0. then f a r d.signal.(a).(u)
+      done
+  | Sparse s -> Sparse.iter_candidates s u f
+
+(** [iter_members t a f] calls [f user rate] for every user in range of
+    AP [a], in ascending user order. *)
+let iter_members t a f =
+  match t.repr with
+  | Dense d ->
+      for u = 0 to t.n_users - 1 do
+        let r = d.rates.(a).(u) in
+        if r > 0. then f u r
+      done
+  | Sparse s -> Sparse.iter_members s a f
+
+(** A fresh dense rate matrix equal to the instance's link structure
+    (always a copy — safe to mutate, never aliases the instance).
+    Allocates O(APs × users): test/debug helper, not for city scale. *)
+let rates_matrix t =
+  match t.repr with
+  | Dense d -> Array.map Array.copy d.rates
+  | Sparse s ->
+      let m = Array.make_matrix t.n_aps t.n_users 0. in
+      for u = 0 to t.n_users - 1 do
+        Sparse.iter_candidates s u (fun a r _ -> m.(a).(u) <- r)
+      done;
+      m
+
+(** A fresh dense signal matrix (a copy). Sparse instances carry no
+    signal for out-of-range pairs: those entries are [neg_infinity]. *)
+let signal_matrix t =
+  match t.repr with
+  | Dense d -> Array.map Array.copy d.signal
+  | Sparse s ->
+      let m = Array.make_matrix t.n_aps t.n_users neg_infinity in
+      for u = 0 to t.n_users - 1 do
+        Sparse.iter_candidates s u (fun a _ sg -> m.(a).(u) <- sg)
+      done;
+      m
+
+(** Structural validation; raises [Invalid_argument] on malformed instances.
+
+    Beyond arity/finiteness, rejects any user whose candidate list is
+    empty (no AP in range) unless the instance was built with
+    [~allow_uncovered:true] — an uncovered user can never be associated,
+    so a hand-written instance containing one is almost always a bug. *)
 let validate t =
   let fail fmt = Fmt.kstr invalid_arg ("Problem.validate: " ^^ fmt) in
   if t.n_aps < 0 || t.n_users < 0 then fail "negative dimensions";
@@ -60,21 +144,45 @@ let validate t =
       if not (Float.is_finite r) || r <= 0. then
         fail "session rate %g (must be finite and positive)" r)
     t.session_rates;
-  if Array.length t.rates <> t.n_aps then fail "rates has wrong AP dimension";
-  Array.iter
-    (fun row ->
-      if Array.length row <> t.n_users then fail "rates row has wrong length";
+  (match t.repr with
+  | Dense d ->
+      if Array.length d.rates <> t.n_aps then
+        fail "rates has wrong AP dimension";
       Array.iter
-        (fun r ->
-          if not (Float.is_finite r) || r < 0. then
-            fail "link rate %g (must be finite and non-negative)" r)
-        row)
-    t.rates;
-  if Array.length t.signal <> t.n_aps then fail "signal has wrong AP dimension";
-  Array.iter
-    (fun row ->
-      if Array.length row <> t.n_users then fail "signal row has wrong length")
-    t.signal;
+        (fun row ->
+          if Array.length row <> t.n_users then
+            fail "rates row has wrong length";
+          Array.iter
+            (fun r ->
+              if not (Float.is_finite r) || r < 0. then
+                fail "link rate %g (must be finite and non-negative)" r)
+            row)
+        d.rates;
+      if Array.length d.signal <> t.n_aps then
+        fail "signal has wrong AP dimension";
+      Array.iter
+        (fun row ->
+          if Array.length row <> t.n_users then
+            fail "signal row has wrong length")
+        d.signal
+  | Sparse s ->
+      ignore (Sparse.validate s);
+      if Sparse.n_aps s <> t.n_aps then
+        fail "sparse structure has %d APs, instance %d" (Sparse.n_aps s)
+          t.n_aps;
+      if Sparse.n_users s <> t.n_users then
+        fail "sparse structure has %d users, instance %d" (Sparse.n_users s)
+          t.n_users);
+  if not t.allow_uncovered then
+    for u = 0 to t.n_users - 1 do
+      let covered = ref false in
+      iter_candidates t u (fun _ _ _ -> covered := true);
+      if not !covered then
+        fail
+          "user %d has an empty candidate list (no AP in range; pass \
+           ~allow_uncovered:true if intentional)"
+          u
+    done;
   if Float.is_nan t.budget || t.budget < 0. then
     fail "negative budget %g" t.budget;
   (match t.ap_budgets with
@@ -89,9 +197,10 @@ let validate t =
   t
 
 (** [make ~session_rates ~user_session ~rates ~budget ()] builds and
-    validates an instance. [signal] defaults to the rate matrix (highest
-    rate = strongest signal). *)
-let make ?signal ?ap_budgets ~session_rates ~user_session ~rates ~budget () =
+    validates a dense instance. [signal] defaults to the rate matrix
+    (highest rate = strongest signal). *)
+let make ?signal ?ap_budgets ?(allow_uncovered = false) ~session_rates
+    ~user_session ~rates ~budget () =
   let n_aps = Array.length rates in
   let n_users = Array.length user_session in
   let signal =
@@ -105,25 +214,102 @@ let make ?signal ?ap_budgets ~session_rates ~user_session ~rates ~budget () =
       n_users;
       session_rates;
       user_session;
-      rates;
-      signal;
+      repr = Dense { rates; signal };
       budget;
       ap_budgets;
+      allow_uncovered;
     }
 
-(** APs within range of user [u], unordered. *)
+(** Build and validate a sparse instance around an existing link
+    structure (see {!Sparse.make} and {!Scenario.to_problem_sparse}). *)
+let make_sparse ?ap_budgets ?(allow_uncovered = false) ~session_rates
+    ~user_session ~sparse ~budget () =
+  validate
+    {
+      n_aps = Sparse.n_aps sparse;
+      n_users = Array.length user_session;
+      session_rates;
+      user_session;
+      repr = Sparse sparse;
+      budget;
+      ap_budgets;
+      allow_uncovered;
+    }
+
+(** The same instance in sparse form (identity if already sparse). The
+    conversion keeps exactly the positive-rate links, so every accessor
+    answers bit-identically afterwards. *)
+let to_sparse t =
+  match t.repr with
+  | Sparse _ -> t
+  | Dense d ->
+      { t with repr = Sparse (Sparse.of_dense ~rates:d.rates ~signal:d.signal) }
+
+(** The same instance in dense form (identity if already dense).
+    Allocates the O(APs × users) matrices — test/debug helper. *)
+let to_dense t =
+  match t.repr with
+  | Dense _ -> t
+  | Sparse _ ->
+      { t with repr = Dense { rates = rates_matrix t; signal = signal_matrix t } }
+
+(** A copy whose link rates may be mutated through {!set_link_rate}
+    without affecting the original (signal and structure are shared). *)
+let copy_for_mutation t =
+  match t.repr with
+  | Dense d ->
+      { t with repr = Dense { d with rates = Array.map Array.copy d.rates } }
+  | Sparse s -> { t with repr = Sparse (Sparse.copy_values s) }
+
+(** In-place link rate update, the churn primitive. On a dense instance
+    any entry may be written; on a sparse instance the pair must have
+    been in range at build time (setting an absent link to [0.] is a
+    no-op, raising it from nothing is [Invalid_argument] — see
+    {!Sparse.set_rate}). Only call on a {!copy_for_mutation} copy. *)
+let set_link_rate t ~ap ~user r =
+  match t.repr with
+  | Dense d -> d.rates.(ap).(user) <- r
+  | Sparse s -> Sparse.set_rate s ~ap ~user r
+
+(** A copy with dead APs' and absent users' links zeroed — the effective
+    instance mid-churn. Not validated (masking legitimately strands
+    users). *)
+let masked t ~ap_alive ~user_present =
+  match t.repr with
+  | Dense d ->
+      let rates =
+        Array.mapi
+          (fun a row ->
+            if not ap_alive.(a) then Array.make t.n_users 0.
+            else
+              Array.mapi (fun u r -> if user_present.(u) then r else 0.) row)
+          d.rates
+      in
+      { t with repr = Dense { d with rates }; allow_uncovered = true }
+  | Sparse s ->
+      {
+        t with
+        repr = Sparse (Sparse.masked s ~ap_alive ~user_present);
+        allow_uncovered = true;
+      }
+
+(** APs within range of user [u], ascending index order. *)
 let neighbor_aps t u =
-  let acc = ref [] in
-  for a = t.n_aps - 1 downto 0 do
-    if t.rates.(a).(u) > 0. then acc := a :: !acc
-  done;
-  !acc
+  match t.repr with
+  | Dense d ->
+      let acc = ref [] in
+      for a = t.n_aps - 1 downto 0 do
+        if d.rates.(a).(u) > 0. then acc := a :: !acc
+      done;
+      !acc
+  | Sparse s -> Sparse.candidate_aps s u
 
 (** APs within range of user [u], strongest signal first (ties by lower AP
     index, making the SSA baseline deterministic). *)
 let neighbors_by_signal t u =
   neighbor_aps t u
-  |> List.stable_sort (fun a b -> Float.compare t.signal.(b).(u) t.signal.(a).(u))
+  |> List.stable_sort (fun a b ->
+         Float.compare (signal t ~ap:b ~user:u) (signal t ~ap:a ~user:u))
 
 (** The strongest-signal AP of user [u], or [None] if no AP covers [u]. *)
 let strongest_ap t u =
@@ -137,38 +323,52 @@ let coverable_users t =
   done;
   !acc
 
-(** Users of session [s] reachable from AP [a] at link rate at least [r]. *)
+(** Users of session [s] reachable from AP [a] at link rate at least [r],
+    ascending. [min_rate] must be positive (rates are; out-of-range pairs
+    never qualify). *)
 let receivers t ~ap ~session ~min_rate =
-  let acc = ref [] in
-  for u = t.n_users - 1 downto 0 do
-    if t.user_session.(u) = session && t.rates.(ap).(u) >= min_rate then
-      acc := u :: !acc
-  done;
-  !acc
+  match t.repr with
+  | Dense d ->
+      let acc = ref [] in
+      for u = t.n_users - 1 downto 0 do
+        if t.user_session.(u) = session && d.rates.(ap).(u) >= min_rate then
+          acc := u :: !acc
+      done;
+      !acc
+  | Sparse s ->
+      let acc = ref [] in
+      Sparse.iter_members s ap (fun u r ->
+          if t.user_session.(u) = session && r >= min_rate then
+            acc := u :: !acc);
+      List.rev !acc
 
 (** The distinct link rates that occur in the instance, highest first. These
     are the only transmission rates an algorithm ever needs to consider. *)
 let distinct_rates t =
   let module FS = Set.Make (Float) in
-  let s =
-    Array.fold_left
-      (fun acc row ->
-        Array.fold_left (fun acc r -> if r > 0. then FS.add r acc else acc) acc row)
-      FS.empty t.rates
-  in
-  FS.elements s |> List.rev
+  let s = ref FS.empty in
+  for a = 0 to t.n_aps - 1 do
+    iter_members t a (fun _ r -> s := FS.add r !s)
+  done;
+  FS.elements !s |> List.rev
 
 (** Replace every positive link rate by the lowest one — stock 802.11
     broadcast behaviour where multicast always uses the basic rate. *)
 let restrict_to_basic_rate t =
   match distinct_rates t with
   | [] -> t
-  | rs ->
+  | rs -> (
       let basic = List.fold_left Float.min infinity rs in
-      let rates =
-        Array.map (Array.map (fun r -> if r > 0. then basic else 0.)) t.rates
-      in
-      { t with rates }
+      match t.repr with
+      | Dense d ->
+          let rates =
+            Array.map
+              (Array.map (fun r -> if r > 0. then basic else 0.))
+              d.rates
+          in
+          { t with repr = Dense { d with rates } }
+      | Sparse s ->
+          { t with repr = Sparse (Sparse.map_rates s (fun _ -> basic)) })
 
 (** Uniform budget override; clears any heterogeneous budgets. *)
 let with_budget t budget = validate { t with budget; ap_budgets = None }
@@ -178,5 +378,6 @@ let with_ap_budgets t ap_budgets =
   validate { t with ap_budgets = Some ap_budgets }
 
 let pp ppf t =
-  Fmt.pf ppf "@[<v>problem: %d APs, %d users, %d sessions, budget %g@]"
+  Fmt.pf ppf "@[<v>problem (%s): %d APs, %d users, %d sessions, budget %g@]"
+    (if is_sparse t then "sparse" else "dense")
     t.n_aps t.n_users (n_sessions t) t.budget

@@ -1,34 +1,62 @@
 (** An abstract association-control problem instance — the canonical input
     to every algorithm in [Mcast_core].
 
+    The link structure has two interchangeable representations behind the
+    {!view} accessor (every other accessor is representation-agnostic and
+    answers bit-identically on both forms of the same instance):
+    - {e dense}: (AP × user) [rates]/[signal] matrices, [0.] = out of
+      range — the paper's 200×400 experiments;
+    - {e sparse}: {!Sparse.t} range-limited candidate/member lists — the
+      only form that scales to city-size (2000×40000+) instances, where
+      the dense matrix is never allocated.
+
     Conventions:
     - APs and users are dense integer indices;
-    - [rates.(a).(u)] is the maximum link rate (Mbps) from AP [a] to user
-      [u], with [0.] meaning out of range;
-    - [signal.(a).(u)] ranks signal strength for the SSA baseline (higher
-      is stronger; geometric scenarios install [-. distance]);
+    - a link rate is the maximum data rate (Mbps) from AP to user, with
+      [0.] / absent slot meaning out of range;
+    - signal ranks strength for the SSA baseline (higher is stronger;
+      geometric scenarios install [-. distance]);
     - [budget] is the per-AP multicast airtime limit in [0, 1].
 
     The record is exposed read-only by convention: build instances with
-    {!make} (which validates), never mutate the arrays. *)
+    {!make} / {!make_sparse} (which validate), never mutate the arrays
+    (churn goes through {!copy_for_mutation} + {!set_link_rate}). *)
+
+type repr =
+  | Dense of { rates : float array array; signal : float array array }
+  | Sparse of Sparse.t
 
 type t = {
   n_aps : int;
   n_users : int;
   session_rates : float array;  (** session index -> stream rate (Mbps) *)
   user_session : int array;  (** user index -> session index *)
-  rates : float array array;
-  signal : float array array;
+  repr : repr;  (** the link structure — access through {!view} *)
   budget : float;  (** uniform per-AP multicast airtime limit in [0, 1] *)
   ap_budgets : float array option;
       (** optional heterogeneous per-AP budgets overriding [budget] *)
+  allow_uncovered : bool;
+      (** accept users with an empty candidate list (geometric paths) *)
 }
 
 val dims : t -> int * int
 val n_sessions : t -> int
 val session_rate : t -> int -> float
 val user_session : t -> int -> int
+
+(** The link-structure representation. Algorithms that specialize per
+    representation (e.g. [Mcast_core.Shard]) match on this; everything
+    else should use the agnostic accessors below. *)
+val view : t -> repr
+
+val is_sparse : t -> bool
 val link_rate : t -> ap:int -> user:int -> float
+
+(** Signal metric of a pair (higher = stronger). Out-of-range pairs of a
+    sparse instance answer [neg_infinity] (they can never win a signal
+    comparison); dense instances answer whatever the matrix holds. *)
+val signal : t -> ap:int -> user:int -> float
+
 val in_range : t -> ap:int -> user:int -> bool
 val budget : t -> float
 
@@ -36,21 +64,76 @@ val budget : t -> float
     budgets are installed, [budget] otherwise. *)
 val ap_budget : t -> int -> float
 
-(** Structural validation; @raise Invalid_argument on malformed
-    instances. Returns its argument. *)
+(** [iter_candidates t u f] calls [f ap rate signal] for every AP in
+    range of user [u], ascending AP order. O(candidates) on sparse. *)
+val iter_candidates : t -> int -> (int -> float -> float -> unit) -> unit
+
+(** [iter_members t a f] calls [f user rate] for every user in range of
+    AP [a], ascending user order. O(members) on sparse. *)
+val iter_members : t -> int -> (int -> float -> unit) -> unit
+
+(** A fresh dense rate matrix equal to the link structure (always a
+    copy). Allocates O(APs × users) — test/debug helper. *)
+val rates_matrix : t -> float array array
+
+(** A fresh dense signal matrix (a copy); out-of-range entries of a
+    sparse instance are [neg_infinity]. O(APs × users). *)
+val signal_matrix : t -> float array array
+
+(** Structural validation; returns its argument. Rejects — beyond
+    arity/finiteness errors — any user with an empty candidate list
+    unless the instance allows uncovered users.
+    @raise Invalid_argument on malformed instances. *)
 val validate : t -> t
 
-(** Build and validate an instance. [signal] defaults to the rate matrix
-    (highest rate = strongest signal). *)
+(** Build and validate a dense instance. [signal] defaults to the rate
+    matrix (highest rate = strongest signal). [allow_uncovered] defaults
+    to [false]: a user no AP can reach is rejected. *)
 val make :
   ?signal:float array array ->
   ?ap_budgets:float array ->
+  ?allow_uncovered:bool ->
   session_rates:float array ->
   user_session:int array ->
   rates:float array array ->
   budget:float ->
   unit ->
   t
+
+(** Build and validate a sparse instance around an existing link
+    structure (see {!Sparse.make} and [Scenario.to_problem_sparse]). *)
+val make_sparse :
+  ?ap_budgets:float array ->
+  ?allow_uncovered:bool ->
+  session_rates:float array ->
+  user_session:int array ->
+  sparse:Sparse.t ->
+  budget:float ->
+  unit ->
+  t
+
+(** The same instance in sparse form (identity if already sparse);
+    keeps exactly the positive-rate links. *)
+val to_sparse : t -> t
+
+(** The same instance in dense form (identity if already dense).
+    Allocates the O(APs × users) matrices — test/debug helper. *)
+val to_dense : t -> t
+
+(** A copy whose link rates may be mutated through {!set_link_rate}
+    without affecting the original (signal and structure are shared). *)
+val copy_for_mutation : t -> t
+
+(** In-place link rate update, the churn primitive. Dense: any entry.
+    Sparse: the pair must have been in range at build time (absent +
+    [0.] is a no-op).
+    @raise Invalid_argument when growing an absent sparse link. *)
+val set_link_rate : t -> ap:int -> user:int -> float -> unit
+
+(** A copy with dead APs' and absent users' links zeroed — the effective
+    instance mid-churn. Not validated (masking legitimately strands
+    users). *)
+val masked : t -> ap_alive:bool array -> user_present:bool array -> t
 
 (** APs within range of a user, in ascending index order. *)
 val neighbor_aps : t -> int -> int list
@@ -65,7 +148,7 @@ val strongest_ap : t -> int -> int option
 val coverable_users : t -> int list
 
 (** Users of [session] reachable from [ap] at link rate at least
-    [min_rate]. *)
+    [min_rate] (which must be positive), ascending. *)
 val receivers : t -> ap:int -> session:int -> min_rate:float -> int list
 
 (** The distinct positive link rates in the instance, highest first — the

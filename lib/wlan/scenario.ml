@@ -38,7 +38,10 @@ let distances t =
     (fun ap -> Array.map (fun u -> Point.dist ap u) t.user_pos)
     t.ap_pos
 
-(** Compile into an abstract problem instance by rate adaptation. *)
+(** Compile into a dense abstract problem instance by rate adaptation.
+    Random placement can legitimately strand a user out of every AP's
+    range, so the compiled instance allows uncovered users —
+    {!uncovered_users} reports them. *)
 let to_problem t =
   let d = distances t in
   let rates =
@@ -50,10 +53,39 @@ let to_problem t =
       d
   in
   let signal = Array.map (Array.map (fun dist -> -.dist)) d in
-  Problem.make ~signal
+  Problem.make ~signal ~allow_uncovered:true
     ~session_rates:(Array.map Session.rate_mbps t.sessions)
     ~user_session:(Array.copy t.user_session)
     ~rates ~budget:t.budget ()
+
+(** Compile into a sparse problem instance without ever allocating the
+    dense (AP × user) matrix: a {!Sparse.Grid} bucket grid over the AP
+    positions (cell = radio range) yields each user's candidate
+    superset, and the {e exact same} rate-adaptation predicate as
+    {!to_problem} — [Rate_table.rate_at_distance] on [Point.dist] —
+    decides membership, so the two compilations agree bit for bit on
+    every link rate and signal value. O(APs + users · candidates). *)
+let to_problem_sparse t =
+  let range = Rate_table.range t.rate_table in
+  let grid = Sparse.Grid.build ~cell:range t.ap_pos in
+  let links =
+    Array.map
+      (fun u ->
+        (* probe order is ascending, so the candidate list is sorted *)
+        List.filter_map
+          (fun a ->
+            let dist = Point.dist t.ap_pos.(a) u in
+            match Rate_table.rate_at_distance t.rate_table dist with
+            | Some r -> Some (a, r, -.dist)
+            | None -> None)
+          (Sparse.Grid.probe grid u))
+      t.user_pos
+  in
+  Problem.make_sparse ~allow_uncovered:true
+    ~sparse:(Sparse.make ~n_aps:(n_aps t) ~links)
+    ~session_rates:(Array.map Session.rate_mbps t.sessions)
+    ~user_session:(Array.copy t.user_session)
+    ~budget:t.budget ()
 
 (** Users with no AP within radio range. *)
 let uncovered_users t =

@@ -33,9 +33,20 @@ val make :
 (** AP-major distance matrix (meters). *)
 val distances : t -> float array array
 
-(** Compile into an abstract problem by rate adaptation; installs
-    [-. distance] as the signal metric (nearest AP = strongest). *)
+(** Compile into a dense abstract problem by rate adaptation; installs
+    [-. distance] as the signal metric (nearest AP = strongest). The
+    instance allows uncovered users (random placement can strand one);
+    {!uncovered_users} reports them. Allocates the O(APs × users)
+    matrix — use {!to_problem_sparse} beyond paper scale. *)
 val to_problem : t -> Problem.t
+
+(** Compile into a sparse problem via a spatial bucket grid over the AP
+    positions, never allocating the dense matrix. Applies the exact
+    same rate-adaptation predicate as {!to_problem}, so both
+    compilations agree bit for bit on every link rate and signal value
+    (the differential battery in [test/test_sparse.ml] pins this).
+    O(APs + users · candidates). *)
+val to_problem_sparse : t -> Problem.t
 
 (** Users with no AP within radio range. *)
 val uncovered_users : t -> int list

@@ -160,3 +160,80 @@ let nth_problem ~seed ~index cfg =
     Instance [i] depends only on [(seed, i)], never on the other instances. *)
 let problems ~seed ~n cfg =
   List.init n (fun i -> nth_problem ~seed ~index:i cfg)
+
+(** {1 City-scale scenarios}
+
+    A city is a grid of paper-style districts (campuses, malls, venues)
+    separated by streets wider than the radio's interaction reach. The
+    resulting instances are what the sparse representation and the
+    geometric sharding exist for: thousands of APs, tens of thousands of
+    users, candidate lists a handful long — and, when [gap_m] exceeds
+    twice the rate table's range, a [Mcast_core.Shard] plan with one
+    component per occupied district. *)
+
+type city_config = {
+  districts_x : int;
+  districts_y : int;
+  district : config;  (** per-district generation config *)
+  gap_m : float;
+      (** street width between districts; keep [> 2 ×] the rate table's
+          range for district-independent sharding *)
+}
+
+(** 2000 APs × 40000 users: 5 × 4 districts of 100 APs and 2000 users
+    each (paper AP density, 5 × the paper's user crowding), 450 m
+    streets (interaction reach of 802.11a is 2 × 200 m). *)
+let city_default =
+  {
+    districts_x = 5;
+    districts_y = 4;
+    district =
+      {
+        paper_default with
+        area_w = 775.;
+        area_h = 775.;
+        n_aps = 100;
+        n_users = 2000;
+      };
+    gap_m = 450.;
+  }
+
+(* Split tag for per-district streams, disjoint from [scenario_rng]. *)
+let city_split_tag = 0x5ced1517
+
+(** [city ~seed cfg] builds the city scenario deterministically: district
+    [i] (row-major) draws from its own split stream keyed by
+    [(seed, i)], then every position is offset to the district's corner
+    — so the layout is a pure function of [(seed, cfg)] and any district
+    could be regenerated independently. APs and users are indexed in
+    district order (districts are index-contiguous). *)
+let city ~seed (cfg : city_config) =
+  let d = cfg.district in
+  let nd = cfg.districts_x * cfg.districts_y in
+  let area_w =
+    (float_of_int cfg.districts_x *. d.area_w)
+    +. (float_of_int (cfg.districts_x - 1) *. cfg.gap_m)
+  and area_h =
+    (float_of_int cfg.districts_y *. d.area_h)
+    +. (float_of_int (cfg.districts_y - 1) *. cfg.gap_m)
+  in
+  let districts =
+    List.init nd (fun i ->
+        let rng = Random.State.make [| seed; city_split_tag; i |] in
+        let sc = generate ~rng d in
+        let ox =
+          float_of_int (i mod cfg.districts_x) *. (d.area_w +. cfg.gap_m)
+        and oy =
+          float_of_int (i / cfg.districts_x) *. (d.area_h +. cfg.gap_m)
+        in
+        let shift (p : Point.t) = Point.v (p.Point.x +. ox) (p.Point.y +. oy) in
+        ( Array.map shift sc.Scenario.ap_pos,
+          Array.map shift sc.Scenario.user_pos,
+          sc.Scenario.user_session ))
+  in
+  let ap_pos = Array.concat (List.map (fun (a, _, _) -> a) districts) in
+  let user_pos = Array.concat (List.map (fun (_, u, _) -> u) districts) in
+  let user_session = Array.concat (List.map (fun (_, _, s) -> s) districts) in
+  Scenario.make ~area_w ~area_h ~ap_pos ~user_pos ~user_session
+    ~sessions:(Session.uniform ~n:d.n_sessions ~rate_mbps:d.session_rate_mbps)
+    ~rate_table:d.rate_table ~budget:d.budget ()

@@ -55,3 +55,27 @@ val nth_problem : seed:int -> index:int -> config -> Problem.t
     master seed (the paper averages over 40 such scenarios). Instance [i]
     depends only on [(seed, i)] — see {!scenario_rng}. *)
 val problems : seed:int -> n:int -> config -> Problem.t list
+
+(** {1 City-scale scenarios} — a grid of paper-style districts separated
+    by streets; the workload the sparse representation and geometric
+    sharding exist for. *)
+
+type city_config = {
+  districts_x : int;
+  districts_y : int;
+  district : config;  (** per-district generation config *)
+  gap_m : float;
+      (** street width between districts; keep [> 2 ×] the rate table's
+          range for district-independent sharding *)
+}
+
+(** 2000 APs × 40000 users: 5 × 4 districts of 100 APs / 2000 users
+    (paper AP density), 450 m streets (> 2 × the 200 m 802.11a range). *)
+val city_default : city_config
+
+(** Deterministic city generation: district [i] (row-major) draws from
+    its own split stream keyed by [(seed, i)], positions offset to the
+    district's corner. APs and users are indexed in district order.
+    Compile with [Scenario.to_problem_sparse] — the dense matrix of a
+    city does not fit. *)
+val city : seed:int -> city_config -> Scenario.t

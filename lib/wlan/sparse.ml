@@ -1,0 +1,333 @@
+(** Range-limited sparse problem representation (DESIGN.md §4.10).
+
+    The paper's association-control algorithms only ever consult a user's
+    {e neighborhood} — the APs whose radio range covers it — yet the dense
+    {!Problem} representation carries a full (AP × user) matrix, putting an
+    O(APs · users) floor under memory and every candidate scan. Because the
+    802.11 rate tables give links a hard reach (~200 m for 802.11a), the
+    in-range pairs are geometrically sparse: a city-scale deployment has a
+    few candidate APs per user regardless of how many thousand APs exist.
+
+    This module is the CSR-style sparse form of the link structure: each
+    user's {e candidate list} (the APs in range, ascending AP index, with
+    the link rate and signal metric) and, mirrored over the same slots,
+    each AP's {e member list} (the users in range, ascending user index).
+    Both views share one value array, so a rate mutation (churn drift) is
+    seen consistently from either side.
+
+    The slot structure is {b immutable} after {!make}: churn may change a
+    slot's rate — including to [0.], "link lost", which every reader skips
+    — but can never add a link that was out of range at build time. That
+    is exactly the contract of the rate-drift churn tier ladder, and it is
+    what keeps the representation allocation-free under replay.
+
+    {!Grid} is the spatial bucket grid used to build candidate lists from
+    geometry in O(APs + users · candidates) without ever forming the dense
+    matrix: APs are bucketed into square cells whose side is the radio
+    range, so every AP within range of a point lies in the 3×3 cell block
+    around it — including APs sitting exactly at the reach boundary or on
+    a cell edge. *)
+
+(* Deterministic event counters (DESIGN.md §4.9): builds and probes are
+   driven by index-ordered scans, so these totals are pure functions of
+   the inputs. *)
+let c_builds = Wlan_obs.Counters.make "sparse.builds"
+let c_candidate_list_len = Wlan_obs.Counters.make "sparse.candidate_list_len"
+let c_grid_cells_probed = Wlan_obs.Counters.make "sparse.grid_cells_probed"
+
+type t = {
+  n_aps : int;
+  n_users : int;
+  user_off : int array;  (** per-user slot range: slots of user [u] are
+                             [user_off.(u) .. user_off.(u+1) - 1] *)
+  cand_ap : int array;  (** slot -> AP index, ascending within a user *)
+  cand_rate : float array;
+      (** slot -> link rate; [0.] = link lost (skipped by every reader).
+          The only mutable plane: {!set_rate} writes it, {!copy_values}
+          unshares it. *)
+  cand_signal : float array;  (** slot -> signal metric (higher = stronger) *)
+  ap_off : int array;  (** per-AP member range over [memb_*] *)
+  memb_user : int array;  (** member slot -> user index, ascending per AP *)
+  memb_slot : int array;
+      (** member slot -> candidate slot of the same link, so both views
+          read the one [cand_rate] plane *)
+}
+
+let n_aps t = t.n_aps
+let n_users t = t.n_users
+let n_links t = Array.length t.cand_ap
+
+(** Structural validation; raises [Invalid_argument] on malformed input. *)
+let validate t =
+  let fail fmt = Fmt.kstr invalid_arg ("Sparse.validate: " ^^ fmt) in
+  if t.n_aps < 0 || t.n_users < 0 then fail "negative dimensions";
+  if Array.length t.user_off <> t.n_users + 1 then fail "user_off arity";
+  if Array.length t.ap_off <> t.n_aps + 1 then fail "ap_off arity";
+  let n = Array.length t.cand_ap in
+  if Array.length t.cand_rate <> n || Array.length t.cand_signal <> n then
+    fail "candidate plane arity mismatch";
+  if Array.length t.memb_user <> n || Array.length t.memb_slot <> n then
+    fail "member plane arity mismatch";
+  if t.user_off.(0) <> 0 || t.user_off.(t.n_users) <> n then
+    fail "user_off does not span the slots";
+  if t.ap_off.(0) <> 0 || t.ap_off.(t.n_aps) <> n then
+    fail "ap_off does not span the slots";
+  for u = 0 to t.n_users - 1 do
+    if t.user_off.(u) > t.user_off.(u + 1) then fail "user_off not monotone";
+    for i = t.user_off.(u) to t.user_off.(u + 1) - 1 do
+      let a = t.cand_ap.(i) in
+      if a < 0 || a >= t.n_aps then fail "slot references unknown AP %d" a;
+      if i > t.user_off.(u) && t.cand_ap.(i - 1) >= a then
+        fail "candidate list of user %d not strictly ascending" u;
+      let r = t.cand_rate.(i) in
+      if not (Float.is_finite r) || r < 0. then
+        fail "link rate %g (must be finite and non-negative)" r
+    done
+  done;
+  for a = 0 to t.n_aps - 1 do
+    if t.ap_off.(a) > t.ap_off.(a + 1) then fail "ap_off not monotone";
+    for i = t.ap_off.(a) to t.ap_off.(a + 1) - 1 do
+      let u = t.memb_user.(i) in
+      if u < 0 || u >= t.n_users then fail "member references unknown user %d" u;
+      if i > t.ap_off.(a) && t.memb_user.(i - 1) >= u then
+        fail "member list of AP %d not strictly ascending" a;
+      let s = t.memb_slot.(i) in
+      if s < 0 || s >= n then fail "member slot out of range";
+      if t.cand_ap.(s) <> a then fail "member slot mirrors a different AP"
+    done
+  done;
+  t
+
+(** [make ~n_aps ~links] builds the two mirrored CSR planes from per-user
+    candidate lists. [links.(u)] is user [u]'s list of
+    [(ap, rate, signal)], strictly ascending by AP index.
+    @raise Invalid_argument on unsorted lists or out-of-range indices. *)
+let make ~n_aps ~links =
+  Wlan_obs.Counters.incr c_builds;
+  let n_users = Array.length links in
+  let n = Array.fold_left (fun acc l -> acc + List.length l) 0 links in
+  Wlan_obs.Counters.add c_candidate_list_len n;
+  let user_off = Array.make (n_users + 1) 0 in
+  let cand_ap = Array.make n 0 in
+  let cand_rate = Array.make n 0. in
+  let cand_signal = Array.make n 0. in
+  let ap_count = Array.make (Int.max n_aps 0) 0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun u l ->
+      user_off.(u) <- !k;
+      List.iter
+        (fun (a, r, s) ->
+          if a < 0 || a >= n_aps then
+            Fmt.kstr invalid_arg "Sparse.make: unknown AP %d" a;
+          cand_ap.(!k) <- a;
+          cand_rate.(!k) <- r;
+          cand_signal.(!k) <- s;
+          ap_count.(a) <- ap_count.(a) + 1;
+          incr k)
+        l)
+    links;
+  user_off.(n_users) <- !k;
+  (* member plane: one pass over users in ascending order fills every
+     AP's member list in ascending user order *)
+  let ap_off = Array.make (n_aps + 1) 0 in
+  for a = 0 to n_aps - 1 do
+    ap_off.(a + 1) <- ap_off.(a) + ap_count.(a)
+  done;
+  let fill = Array.copy (Array.sub ap_off 0 (Int.max n_aps 1)) in
+  let memb_user = Array.make n 0 in
+  let memb_slot = Array.make n 0 in
+  for u = 0 to n_users - 1 do
+    for i = user_off.(u) to user_off.(u + 1) - 1 do
+      let a = cand_ap.(i) in
+      memb_user.(fill.(a)) <- u;
+      memb_slot.(fill.(a)) <- i;
+      fill.(a) <- fill.(a) + 1
+    done
+  done;
+  validate
+    {
+      n_aps;
+      n_users;
+      user_off;
+      cand_ap;
+      cand_rate;
+      cand_signal;
+      ap_off;
+      memb_user;
+      memb_slot;
+    }
+
+(** Candidate slot of the [(ap, user)] link, if the pair was ever in
+    range. Binary search over the user's ascending candidate list. *)
+let find_slot t ~ap ~user =
+  let lo = ref t.user_off.(user) and hi = ref (t.user_off.(user + 1) - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let a = t.cand_ap.(mid) in
+    if a = ap then found := mid
+    else if a < ap then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found < 0 then None else Some !found
+
+(** Link rate of [(ap, user)]: the slot's value, [0.] when the pair was
+    never in range. *)
+let link_rate t ~ap ~user =
+  match find_slot t ~ap ~user with None -> 0. | Some i -> t.cand_rate.(i)
+
+(** Signal metric of [(ap, user)]; [neg_infinity] when the pair was never
+    in range (an out-of-range AP can never win a signal tie-break). *)
+let signal t ~ap ~user =
+  match find_slot t ~ap ~user with
+  | None -> neg_infinity
+  | Some i -> t.cand_signal.(i)
+
+(** [iter_candidates t u f] calls [f ap rate signal] for every in-range
+    candidate of user [u] (rate [> 0.]), ascending AP index. *)
+let iter_candidates t u f =
+  for i = t.user_off.(u) to t.user_off.(u + 1) - 1 do
+    let r = t.cand_rate.(i) in
+    if r > 0. then f t.cand_ap.(i) r t.cand_signal.(i)
+  done
+
+(** [iter_members t a f] calls [f user rate] for every in-range member of
+    AP [a] (rate [> 0.]), ascending user index. *)
+let iter_members t a f =
+  for i = t.ap_off.(a) to t.ap_off.(a + 1) - 1 do
+    let r = t.cand_rate.(t.memb_slot.(i)) in
+    if r > 0. then f t.memb_user.(i) r
+  done
+
+(** In-range candidate APs of a user, ascending. *)
+let candidate_aps t u =
+  let acc = ref [] in
+  for i = t.user_off.(u + 1) - 1 downto t.user_off.(u) do
+    if t.cand_rate.(i) > 0. then acc := t.cand_ap.(i) :: !acc
+  done;
+  !acc
+
+(** Number of slots of a user, in-range or lost. *)
+let degree t u = t.user_off.(u + 1) - t.user_off.(u)
+
+(** [set_rate t ~ap ~user r] overwrites the slot's rate. [0.] marks the
+    link lost; any positive value re-arms it. The slot must exist:
+    @raise Invalid_argument when [(ap, user)] was never in range and
+    [r > 0.] — the sparse structure cannot grow a link (build the
+    instance from geometry that covers it instead). Setting an absent
+    link to [0.] is a no-op. *)
+let set_rate t ~ap ~user r =
+  match find_slot t ~ap ~user with
+  | Some i -> t.cand_rate.(i) <- r
+  | None ->
+      if r > 0. then
+        Fmt.kstr invalid_arg
+          "Sparse.set_rate: link a%d-u%d was never in range (the sparse \
+           structure cannot add links)"
+          ap user
+
+(** A copy whose rate plane is private; every other (immutable) plane is
+    shared. This is what a churn layer must take before mutating. *)
+let copy_values t = { t with cand_rate = Array.copy t.cand_rate }
+
+(** [masked t ~ap_alive ~user_present] is a copy with the rates of dead
+    APs' and absent users' slots forced to [0.] — the sparse counterpart
+    of zeroing matrix rows and columns. *)
+let masked t ~ap_alive ~user_present =
+  let c = copy_values t in
+  for u = 0 to t.n_users - 1 do
+    if not user_present.(u) then
+      for i = t.user_off.(u) to t.user_off.(u + 1) - 1 do
+        c.cand_rate.(i) <- 0.
+      done
+  done;
+  for a = 0 to t.n_aps - 1 do
+    if not ap_alive.(a) then
+      for i = t.ap_off.(a) to t.ap_off.(a + 1) - 1 do
+        c.cand_rate.(t.memb_slot.(i)) <- 0.
+      done
+  done;
+  c
+
+(** A copy with every in-range rate mapped through [f] (lost links stay
+    lost). *)
+let map_rates t f =
+  let c = copy_values t in
+  Array.iteri
+    (fun i r -> if r > 0. then c.cand_rate.(i) <- f r)
+    t.cand_rate;
+  c
+
+(** Build from dense matrices: one slot per positive-rate pair. *)
+let of_dense ~rates ~signal =
+  let n_aps = Array.length rates in
+  let n_users = if n_aps = 0 then 0 else Array.length rates.(0) in
+  let links =
+    Array.init n_users (fun u ->
+        let acc = ref [] in
+        for a = n_aps - 1 downto 0 do
+          if rates.(a).(u) > 0. then
+            acc := (a, rates.(a).(u), signal.(a).(u)) :: !acc
+        done;
+        !acc)
+  in
+  make ~n_aps ~links
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>sparse: %d APs, %d users, %d links (%.2f cand/user)@]"
+    t.n_aps t.n_users (n_links t)
+    (if t.n_users = 0 then 0.
+     else float_of_int (n_links t) /. float_of_int t.n_users)
+
+(** {1 Spatial bucket grid}
+
+    Square cells of side [cell] over the plane; a point's candidates are
+    gathered from the 3×3 cell block around it. With [cell >= range]
+    every AP within [range] of the point lies in that block — including
+    APs exactly at distance [range] and points sitting on cell edges —
+    so the probe has {e no false negatives}; distance filtering (the
+    exact same float comparison as the dense path) happens downstream. *)
+module Grid = struct
+  type grid = {
+    cell : float;
+    buckets : (int * int, int list) Hashtbl.t;
+        (** cell -> AP indices, ascending; probed by explicit key lookup
+            only, never folded, so iteration order cannot leak *)
+  }
+
+  let cell_of g (p : Point.t) =
+    (int_of_float (Float.floor (p.Point.x /. g)),
+     int_of_float (Float.floor (p.Point.y /. g)))
+
+  (** [build ~cell pts] buckets every point index by its cell.
+      @raise Invalid_argument if [cell <= 0]. *)
+  let build ~cell pts =
+    if not (cell > 0.) then invalid_arg "Sparse.Grid.build: cell must be > 0";
+    let buckets = Hashtbl.create (Int.max 16 (Array.length pts)) in
+    (* descending, so each bucket's prepend-list ends up ascending *)
+    for i = Array.length pts - 1 downto 0 do
+      let key = cell_of cell pts.(i) in
+      let tl = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
+      Hashtbl.replace buckets key (i :: tl)
+    done;
+    { cell; buckets }
+
+  (** All point indices in the 3×3 cell block around [p], ascending.
+      A superset of the points within [cell] of [p]; the caller applies
+      the exact distance predicate. *)
+  let probe t p =
+    let cx, cy = cell_of t.cell p in
+    let acc = ref [] in
+    for dy = 1 downto -1 do
+      for dx = 1 downto -1 do
+        match Hashtbl.find_opt t.buckets (cx + dx, cy + dy) with
+        | None -> ()
+        | Some l ->
+            Wlan_obs.Counters.incr c_grid_cells_probed;
+            acc := l :: !acc
+      done
+    done;
+    (* cells are disjoint and each list ascending; a plain sort merges *)
+    List.sort Int.compare (List.concat !acc)
+end

@@ -263,8 +263,8 @@ let prop_mla_variants_cover_everyone =
 
 let test_mla_uncoverable_users_stay_unserved () =
   let p =
-    Problem.make ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
-      ~rates:[| [| 6.; 0. |] |] ~budget:0.9 ()
+    Problem.make ~allow_uncovered:true ~session_rates:[| 1. |]
+      ~user_session:[| 0; 0 |] ~rates:[| [| 6.; 0. |] |] ~budget:0.9 ()
   in
   let sol = Mla.run p in
   Alcotest.(check int) "one served" 1 sol.Solution.satisfied;
@@ -404,8 +404,8 @@ let degenerate_problems =
       Problem.make ~session_rates:[| 1. |] ~user_session:[||]
         ~rates:[| [||] |] ~budget:0.9 () );
     ( "no APs",
-      Problem.make ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
-        ~rates:[||] ~budget:0.9 () );
+      Problem.make ~allow_uncovered:true ~session_rates:[| 1. |]
+        ~user_session:[| 0; 0 |] ~rates:[||] ~budget:0.9 () );
   ]
 
 let test_degenerate_networks () =

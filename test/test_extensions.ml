@@ -337,7 +337,7 @@ let prop_generator_deterministic_with_extensions =
       in
       let a = Scenario_gen.problems ~seed ~n:1 cfg in
       let b = Scenario_gen.problems ~seed ~n:1 cfg in
-      Problem.((List.hd a).rates = (List.hd b).rates)
+      Problem.rates_matrix (List.hd a) = Problem.rates_matrix (List.hd b)
       && Problem.((List.hd a).user_session = (List.hd b).user_session))
 
 (* ------------------------------------------------------------------ *)
@@ -561,7 +561,7 @@ let test_power_problem_with_powers () =
   in
   let plain = Scenario.to_problem sc in
   Alcotest.(check bool) "full power = plain" true
-    Problem.(full.rates = plain.rates);
+    (Problem.rates_matrix full = Problem.rates_matrix plain);
   (* dropping one AP to the lowest level only shrinks that AP's links *)
   let levels = Array.make n 0 in
   levels.(0) <- Array.length Power.default_factors - 1;

@@ -1,0 +1,616 @@
+(* The sparse/shard differential battery (PR 6): the range-limited
+   sparse representation and the geometric sharding are proven
+   bit-identical to the dense paths.
+
+   - Representation equality (qcheck): a scenario compiled dense
+     (Scenario.to_problem) and sparse (Scenario.to_problem_sparse, via
+     the bucket grid) agree on every accessor: rate matrices, in-range
+     signals, neighbor lists, receivers, distinct rates.
+   - Solver differential (qcheck): every solver — SSA, MNU, MLA, BLA,
+     Distributed Sequential and Simultaneous, Online settle — produces
+     byte-identical associations and load vectors on the dense and
+     sparse views of the same instance.
+   - Churn replays: a random script replayed through Sim.Churn on both
+     views yields identical step metrics, final association and loads.
+   - Grid properties: no false negatives at the exact reach boundary or
+     on cell edges, index-sorted probes, position-permutation
+     invariance.
+   - Shard/halo: sharded solves equal the unsharded sequential solve on
+     random instances and on a fig9a-size scenario at --jobs 1/2/4;
+     one 2000x40000 city instance is pinned by a golden j1==j4 digest —
+     an instance whose dense matrix (2000*40000 floats) is never
+     allocated anywhere in the battery.
+   - validate: empty candidate lists are rejected on both construction
+     paths unless explicitly allowed. *)
+
+open Wlan_model
+open Mcast_core
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let read_golden path =
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  String.trim line
+
+let check_float_arrays what a b =
+  Alcotest.(check int) (what ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Float.equal x b.(i)) then
+        Alcotest.failf "%s: index %d differs: %.17g vs %.17g" what i x b.(i))
+    a
+
+let fail_if what cond = if cond then Alcotest.failf "%s" what
+
+(* Seed-indexed random geometric case, compiled both ways. Coverage is
+   deliberately not ensured (uncovered users must behave identically),
+   and placement/popularity/budget vary. *)
+let case ~seed =
+  let rng = Random.State.make [| seed; 0x59a25e |] in
+  let n_aps = 1 + Random.State.int rng 14 in
+  let n_users = 1 + Random.State.int rng 30 in
+  let n_sessions = 1 + Random.State.int rng 3 in
+  let budget = [| 0.3; 0.9; 2.0 |].(Random.State.int rng 3) in
+  let placement =
+    if Random.State.bool rng then Scenario_gen.Uniform
+    else Scenario_gen.Clustered { hotspots = 2; sigma_m = 80. }
+  in
+  let cfg =
+    {
+      Scenario_gen.paper_default with
+      area_w = 500.;
+      area_h = 500.;
+      n_aps;
+      n_users;
+      n_sessions;
+      budget;
+      placement;
+      ensure_coverage = false;
+    }
+  in
+  let sc = Scenario_gen.generate ~rng:(Scenario_gen.scenario_rng ~seed 0) cfg in
+  (sc, Scenario.to_problem sc, Scenario.to_problem_sparse sc)
+
+(* ------------------------------------------------------------------ *)
+(* Representation equality                                             *)
+(* ------------------------------------------------------------------ *)
+
+let reprs_agree seed =
+  let _, pd, ps = case ~seed in
+  fail_if "dense view flagged sparse" (Problem.is_sparse pd);
+  fail_if "sparse view flagged dense" (not (Problem.is_sparse ps));
+  fail_if "rate matrices differ"
+    (Problem.rates_matrix pd <> Problem.rates_matrix ps);
+  (* to_sparse of the dense compile = the grid-built sparse compile *)
+  fail_if "to_sparse(dense) rate matrix differs"
+    (Problem.rates_matrix (Problem.to_sparse pd) <> Problem.rates_matrix ps);
+  let n_aps, n_users = Problem.dims pd in
+  fail_if "dims differ" (Problem.dims ps <> (n_aps, n_users));
+  for u = 0 to n_users - 1 do
+    fail_if "neighbor lists differ"
+      (Problem.neighbor_aps pd u <> Problem.neighbor_aps ps u);
+    fail_if "signal-ordered neighbors differ"
+      (Problem.neighbors_by_signal pd u <> Problem.neighbors_by_signal ps u);
+    fail_if "strongest AP differs"
+      (Problem.strongest_ap pd u <> Problem.strongest_ap ps u);
+    (* signal must agree on every in-range pair (out-of-range pairs are
+       never consulted by any algorithm; the sparse form answers
+       neg_infinity there) *)
+    List.iter
+      (fun a ->
+        if
+          not
+            (Float.equal
+               (Problem.signal pd ~ap:a ~user:u)
+               (Problem.signal ps ~ap:a ~user:u))
+        then Alcotest.failf "signal differs at a%d-u%d" a u)
+      (Problem.neighbor_aps pd u)
+  done;
+  fail_if "coverable users differ"
+    (Problem.coverable_users pd <> Problem.coverable_users ps);
+  fail_if "distinct rates differ"
+    (Problem.distinct_rates pd <> Problem.distinct_rates ps);
+  for a = 0 to n_aps - 1 do
+    for s = 0 to Problem.n_sessions pd - 1 do
+      List.iter
+        (fun r ->
+          fail_if "receivers differ"
+            (Problem.receivers pd ~ap:a ~session:s ~min_rate:r
+            <> Problem.receivers ps ~ap:a ~session:s ~min_rate:r))
+        (Problem.distinct_rates pd)
+    done
+  done;
+  fail_if "basic-rate restrictions differ"
+    (Problem.rates_matrix (Problem.restrict_to_basic_rate pd)
+    <> Problem.rates_matrix (Problem.restrict_to_basic_rate ps));
+  true
+
+let qcheck_reprs_agree =
+  QCheck.Test.make ~name:"dense and sparse compilations agree everywhere"
+    ~count:60
+    QCheck.(int_range 0 10_000)
+    reprs_agree
+
+(* ------------------------------------------------------------------ *)
+(* Solver differential                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_solutions label (a : Solution.t) (b : Solution.t) =
+  if not (Association.equal a.Solution.assoc b.Solution.assoc) then
+    Alcotest.failf "%s: associations differ" label;
+  Alcotest.(check int) (label ^ " satisfied") a.Solution.satisfied
+    b.Solution.satisfied;
+  check_float_arrays (label ^ " ap_loads") a.Solution.ap_loads
+    b.Solution.ap_loads;
+  if not (Float.equal a.Solution.total_load b.Solution.total_load) then
+    Alcotest.failf "%s: total loads differ" label;
+  if not (Float.equal a.Solution.max_load b.Solution.max_load) then
+    Alcotest.failf "%s: max loads differ" label
+
+let solver_differential ~label run seed =
+  let _, pd, ps = case ~seed in
+  check_solutions label (run pd) (run ps);
+  true
+
+let qcheck_solver ~label run =
+  QCheck.Test.make
+    ~name:(label ^ ": dense = sparse, associations and loads")
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (solver_differential ~label run)
+
+let qcheck_ssa = qcheck_solver ~label:"SSA" Ssa.run
+let qcheck_mnu = qcheck_solver ~label:"MNU" (fun p -> Mnu.run p)
+let qcheck_mnu_lazy = qcheck_solver ~label:"MNU-lazy" (Mnu.run ~engine:`Lazy)
+let qcheck_mla = qcheck_solver ~label:"MLA" Mla.run
+let qcheck_mla_layered = qcheck_solver ~label:"MLA-layered" Mla.run_layered
+
+let qcheck_bla =
+  QCheck.Test.make ~name:"BLA: dense = sparse, associations and loads"
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let _, pd, ps = case ~seed in
+      (match (Bla.run pd, Bla.run ps) with
+      | None, None -> ()
+      | Some a, Some b -> check_solutions "BLA" a b
+      | Some _, None -> Alcotest.fail "BLA: dense feasible, sparse not"
+      | None, Some _ -> Alcotest.fail "BLA: sparse feasible, dense not");
+      true)
+
+let distributed_differential ~scheduler ~objective seed =
+  let _, pd, ps = case ~seed in
+  let a = Distributed.run ~max_rounds:300 ~scheduler ~objective pd in
+  let b = Distributed.run ~max_rounds:300 ~scheduler ~objective ps in
+  if not (Association.equal a.Distributed.assoc b.Distributed.assoc) then
+    Alcotest.fail "associations differ";
+  Alcotest.(check int) "rounds" a.Distributed.rounds b.Distributed.rounds;
+  Alcotest.(check int) "moves" a.Distributed.moves b.Distributed.moves;
+  Alcotest.(check bool) "converged" a.Distributed.converged
+    b.Distributed.converged;
+  Alcotest.(check bool) "oscillated" a.Distributed.oscillated
+    b.Distributed.oscillated;
+  check_float_arrays "loads"
+    (Loads.ap_loads pd a.Distributed.assoc)
+    (Loads.ap_loads ps b.Distributed.assoc);
+  true
+
+let qcheck_distributed ~label ~scheduler ~objective =
+  QCheck.Test.make
+    ~name:(label ^ ": dense = sparse, full outcome")
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (distributed_differential ~scheduler ~objective)
+
+let qcheck_dist_seq_total =
+  qcheck_distributed ~label:"Distributed Sequential (total-load)"
+    ~scheduler:Distributed.Sequential ~objective:Distributed.Min_total_load
+
+let qcheck_dist_seq_vector =
+  qcheck_distributed ~label:"Distributed Sequential (load-vector)"
+    ~scheduler:Distributed.Sequential ~objective:Distributed.Min_load_vector
+
+let qcheck_dist_sim =
+  qcheck_distributed ~label:"Distributed Simultaneous"
+    ~scheduler:Distributed.Simultaneous ~objective:Distributed.Min_total_load
+
+let qcheck_online =
+  QCheck.Test.make ~name:"Online settle: dense = sparse" ~count:40
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let _, pd, ps = case ~seed in
+      let run p =
+        let net =
+          Distributed.Online.create ~objective:Distributed.Min_load_vector p
+        in
+        let stats = Distributed.Online.settle ~max_rounds:300 net in
+        (net, stats)
+      in
+      let na, sa = run pd and nb, sb = run ps in
+      if
+        not
+          (Association.equal
+             (Distributed.Online.assoc na)
+             (Distributed.Online.assoc nb))
+      then Alcotest.fail "associations differ";
+      Alcotest.(check int) "moves" sa.Distributed.Online.moves
+        sb.Distributed.Online.moves;
+      Alcotest.(check int) "rounds" sa.Distributed.Online.rounds
+        sb.Distributed.Online.rounds;
+      check_float_arrays "loads"
+        (Array.copy (Distributed.Online.loads na))
+        (Array.copy (Distributed.Online.loads nb));
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Churn-script replays                                                *)
+(* ------------------------------------------------------------------ *)
+
+let check_steps (a : Wlan_sim.Churn.step list) (b : Wlan_sim.Churn.step list) =
+  Alcotest.(check int) "step count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : Wlan_sim.Churn.step) (y : Wlan_sim.Churn.step) ->
+      let same =
+        Float.equal x.time y.time
+        && x.events = y.events
+        && x.reassociated = y.reassociated
+        && x.interrupted = y.interrupted
+        && x.rounds = y.rounds && x.moves = y.moves
+        && x.converged = y.converged
+        && x.oscillated = y.oscillated
+        && Float.equal x.total_load y.total_load
+        && Float.equal x.max_load y.max_load
+        && Float.equal x.opt_total_load y.opt_total_load
+        && Float.equal x.opt_max_load y.opt_max_load
+      in
+      if not same then Alcotest.failf "step at t=%g differs" x.time)
+    a b
+
+let churn_differential ~objective seed =
+  let _, pd, ps = case ~seed in
+  let n_aps, n_users = Problem.dims pd in
+  let rng = Random.State.make [| seed; 0x5c21b7 |] in
+  let script =
+    Churn_script.random ~rng ~n_aps ~n_users
+      { Churn_script.default_gen with n_events = 5 + Random.State.int rng 25 }
+  in
+  let run p = Wlan_sim.Churn.run ~baseline:true ~objective ~script p in
+  let a = run pd and b = run ps in
+  if not (Association.equal a.Wlan_sim.Churn.assoc b.Wlan_sim.Churn.assoc)
+  then Alcotest.fail "final associations differ";
+  check_float_arrays "final loads" a.Wlan_sim.Churn.loads
+    b.Wlan_sim.Churn.loads;
+  check_steps a.Wlan_sim.Churn.steps b.Wlan_sim.Churn.steps;
+  Alcotest.(check int) "total rounds" a.Wlan_sim.Churn.total_rounds
+    b.Wlan_sim.Churn.total_rounds;
+  Alcotest.(check int) "total moves" a.Wlan_sim.Churn.total_moves
+    b.Wlan_sim.Churn.total_moves;
+  (* the final effective instances answer identically too *)
+  let ea = a.Wlan_sim.Churn.effective and eb = b.Wlan_sim.Churn.effective in
+  fail_if "effective rate matrices differ"
+    (Problem.rates_matrix ea <> Problem.rates_matrix eb);
+  true
+
+let qcheck_churn_mla =
+  QCheck.Test.make ~name:"churn replay: dense = sparse (MLA rule)" ~count:30
+    QCheck.(int_range 0 10_000)
+    (churn_differential ~objective:Distributed.Min_total_load)
+
+let qcheck_churn_bla =
+  QCheck.Test.make ~name:"churn replay: dense = sparse (BLA rule)" ~count:30
+    QCheck.(int_range 0 10_000)
+    (churn_differential ~objective:Distributed.Min_load_vector)
+
+(* ------------------------------------------------------------------ *)
+(* Spatial-grid properties                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The hard cases by construction: users exactly at the 802.11a reach
+   boundary (200 m), exactly at interior tier thresholds, and exactly
+   on grid cell edges (the grid cell is the range, so 200-multiples are
+   both). *)
+let test_grid_exact_boundaries () =
+  let range = Rate_table.range Rate_table.default in
+  Alcotest.(check (float 0.)) "802.11a range" 200. range;
+  let ap_pos = [| Point.v 0. 0.; Point.v 400. 0.; Point.v 200. 200. |] in
+  (* user on a cell corner, exactly [range] from APs 0 and 1, and
+     exactly 200 from AP 2 *)
+  let user = Point.v 200. 0. in
+  let sc =
+    Scenario.make ~area_w:400. ~area_h:400. ~ap_pos ~user_pos:[| user |]
+      ~user_session:[| 0 |]
+      ~sessions:(Session.uniform ~n:1 ~rate_mbps:1.)
+      ~budget:0.9 ()
+  in
+  let ps = Scenario.to_problem_sparse sc in
+  Alcotest.(check (list int)) "all three boundary APs found" [ 0; 1; 2 ]
+    (Problem.neighbor_aps ps 0);
+  (* the boundary rate is the lowest tier *)
+  Alcotest.(check (float 0.)) "boundary rate" 6.
+    (Problem.link_rate ps ~ap:0 ~user:0);
+  (* one millimeter past the reach: gone, exactly like the dense path *)
+  let sc' =
+    Scenario.make ~area_w:400. ~area_h:400. ~ap_pos
+      ~user_pos:[| Point.v 200.001 0. |] ~user_session:[| 0 |]
+      ~sessions:(Session.uniform ~n:1 ~rate_mbps:1.)
+      ~budget:0.9 ()
+  in
+  let pd' = Scenario.to_problem sc' and ps' = Scenario.to_problem_sparse sc' in
+  Alcotest.(check (list int)) "past-reach agrees with dense"
+    (Problem.neighbor_aps pd' 0)
+    (Problem.neighbor_aps ps' 0)
+
+let arb_points =
+  QCheck.make
+    QCheck.Gen.(
+      let* n = int_range 1 40 in
+      let* seed = int_range 0 1_000_000 in
+      return
+        (let rng = Random.State.make [| seed; 0x9a1d |] in
+         Array.init n (fun _ ->
+             (* cluster near cell edges: multiples of the 200 m cell are
+                overrepresented to stress boundary handling *)
+             let coord () =
+               if Random.State.bool rng then
+                 200. *. float_of_int (Random.State.int rng 5)
+               else Random.State.float rng 1000.
+             in
+             Point.v (coord ()) (coord ()))))
+
+let qcheck_grid_no_false_negatives =
+  QCheck.Test.make ~name:"grid probe: every in-range point is returned"
+    ~count:200 arb_points (fun pts ->
+      let cell = 200. in
+      let grid = Sparse.Grid.build ~cell pts in
+      Array.for_all
+        (fun q ->
+          let found = Sparse.Grid.probe grid q in
+          Array.for_all
+            (fun i ->
+              Point.dist pts.(i) q > cell || List.mem i found)
+            (Array.init (Array.length pts) Fun.id))
+        pts)
+
+let qcheck_grid_sorted =
+  QCheck.Test.make ~name:"grid probe: strictly ascending indices" ~count:200
+    arb_points (fun pts ->
+      let grid = Sparse.Grid.build ~cell:200. pts in
+      Array.for_all
+        (fun q ->
+          let rec ascending = function
+            | a :: (b :: _ as rest) -> a < b && ascending rest
+            | _ -> true
+          in
+          ascending (Sparse.Grid.probe grid q))
+        pts)
+
+let qcheck_grid_permutation_invariant =
+  QCheck.Test.make
+    ~name:"grid build: position-permutation invariant candidate sets"
+    ~count:200 arb_points (fun pts ->
+      let n = Array.length pts in
+      (* deterministic pseudo-shuffle of the indices *)
+      let perm = Array.init n Fun.id in
+      let rng = Random.State.make [| n; 0x7e21 |] in
+      for i = n - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = perm.(i) in
+        perm.(i) <- perm.(j);
+        perm.(j) <- t
+      done;
+      let shuffled = Array.map (fun i -> pts.(i)) perm in
+      let g1 = Sparse.Grid.build ~cell:200. pts in
+      let g2 = Sparse.Grid.build ~cell:200. shuffled in
+      Array.for_all
+        (fun q ->
+          let original = Sparse.Grid.probe g1 q in
+          (* map shuffled indices back to original ones *)
+          let mapped =
+            List.sort Int.compare
+              (List.map (fun i -> perm.(i)) (Sparse.Grid.probe g2 q))
+          in
+          original = mapped)
+        pts)
+
+(* ------------------------------------------------------------------ *)
+(* Shard/halo reconciliation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let shard_matches_unsharded ~objective seed =
+  let sc, pd, ps = case ~seed in
+  let unsharded =
+    Distributed.run ~scheduler:Distributed.Sequential ~objective ps
+  in
+  let check label (r : Shard.result) =
+    if not (Association.equal r.Shard.assoc unsharded.Distributed.assoc) then
+      Alcotest.failf "%s: association differs from unsharded" label;
+    Alcotest.(check int) (label ^ " moves") unsharded.Distributed.moves
+      r.Shard.moves;
+    check_float_arrays (label ^ " loads")
+      (Loads.ap_loads ps unsharded.Distributed.assoc)
+      (Loads.ap_loads ps r.Shard.assoc)
+  in
+  check "candidate plan (sparse)" (Shard.solve ~objective ps);
+  check "candidate plan (dense)" (Shard.solve ~objective pd);
+  let radius = 2. *. Rate_table.range sc.Scenario.rate_table in
+  let gplan =
+    Shard.plan_geometric ~ap_pos:sc.Scenario.ap_pos
+      ~interaction_radius:radius ps
+  in
+  check "geometric plan" (Shard.solve ~plan:gplan ~objective ps);
+  true
+
+let qcheck_shard_total =
+  QCheck.Test.make ~name:"sharded solve = unsharded (total-load)" ~count:40
+    QCheck.(int_range 0 10_000)
+    (shard_matches_unsharded ~objective:Distributed.Min_total_load)
+
+let qcheck_shard_vector =
+  QCheck.Test.make ~name:"sharded solve = unsharded (load-vector)" ~count:40
+    QCheck.(int_range 0 10_000)
+    (shard_matches_unsharded ~objective:Distributed.Min_load_vector)
+
+(* fig9a-size: the paper's 200x400 scale, sharded across pool domains. *)
+let test_shard_fig9a_jobs () =
+  let sc =
+    Scenario_gen.generate
+      ~rng:(Scenario_gen.scenario_rng ~seed:2007 0)
+      Scenario_gen.paper_default
+  in
+  let ps = Scenario.to_problem_sparse sc in
+  let objective = Distributed.Min_load_vector in
+  let unsharded =
+    Distributed.run ~scheduler:Distributed.Sequential ~objective ps
+  in
+  List.iter
+    (fun jobs ->
+      let r =
+        Harness.Pool.with_pool ~jobs (fun pool ->
+            Shard.solve ~fanout:(Harness.Pool.run pool) ~objective ps)
+      in
+      if not (Association.equal r.Shard.assoc unsharded.Distributed.assoc)
+      then Alcotest.failf "jobs=%d: association differs from unsharded" jobs;
+      check_float_arrays
+        (Fmt.str "jobs=%d loads" jobs)
+        (Loads.ap_loads ps unsharded.Distributed.assoc)
+        (Loads.ap_loads ps r.Shard.assoc))
+    [ 1; 2; 4 ]
+
+(* The city golden: 2000 APs x 40000 users, never dense anywhere. The
+   digest covers the merged association and the shard structure; equal
+   at jobs 1 and 4 and pinned to the committed golden. *)
+let city_digest ~jobs ps pl =
+  let r =
+    Harness.Pool.with_pool ~jobs (fun pool ->
+        Shard.solve ~plan:pl ~fanout:(Harness.Pool.run pool) ~max_rounds:8
+          ~objective:Distributed.Min_load_vector ps)
+  in
+  let buf = Buffer.create (1 lsl 18) in
+  Buffer.add_string buf
+    (Fmt.str "city 2000x40000 shards=%d rounds=%d moves=%d@." r.Shard.n_shards
+       r.Shard.rounds r.Shard.moves);
+  List.iter
+    (fun (sh : Shard.shard) ->
+      Buffer.add_string buf
+        (Fmt.str "shard %d: %d aps %d users@." sh.Shard.id
+           (Array.length sh.Shard.aps)
+           (Array.length sh.Shard.users)))
+    pl.Shard.shards;
+  Array.iter (fun a -> Buffer.add_string buf (Fmt.str "%d," a)) r.Shard.assoc;
+  digest (Buffer.contents buf)
+
+let test_city_golden () =
+  let sc = Scenario_gen.city ~seed:2007 Scenario_gen.city_default in
+  let ps = Scenario.to_problem_sparse sc in
+  let pl =
+    Shard.plan_geometric ~ap_pos:sc.Scenario.ap_pos
+      ~interaction_radius:(2. *. Rate_table.range sc.Scenario.rate_table)
+      ps
+  in
+  let d1 = city_digest ~jobs:1 ps pl in
+  let d4 = city_digest ~jobs:4 ps pl in
+  Alcotest.(check string) "j1 = j4" d1 d4;
+  Alcotest.(check string) "matches committed golden"
+    (read_golden "golden/city_shard.digest")
+    d1
+
+(* ------------------------------------------------------------------ *)
+(* validate: empty candidate lists                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_rejects_uncovered () =
+  let expect_reject what f =
+    try
+      ignore (f ());
+      Alcotest.failf "%s: expected Invalid_argument" what
+    with Invalid_argument msg ->
+      if not (Astring.String.is_infix ~affix:"empty candidate list" msg) then
+        Alcotest.failf "%s: unexpected message %S" what msg
+  in
+  (* dense path *)
+  expect_reject "dense" (fun () ->
+      Problem.make ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
+        ~rates:[| [| 6.; 0. |] |] ~budget:0.9 ());
+  (* sparse path: a slot-less user and a user whose only slot is a lost
+     link are both uncovered *)
+  expect_reject "sparse, no slots" (fun () ->
+      Problem.make_sparse ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
+        ~sparse:(Sparse.make ~n_aps:1 ~links:[| [ (0, 6., 6.) ]; [] |])
+        ~budget:0.9 ());
+  expect_reject "sparse, lost link" (fun () ->
+      Problem.make_sparse ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
+        ~sparse:
+          (Sparse.make ~n_aps:1 ~links:[| [ (0, 6., 6.) ]; [ (0, 0., 6.) ] |])
+        ~budget:0.9 ());
+  (* the geometric escape hatch accepts both *)
+  let pd =
+    Problem.make ~allow_uncovered:true ~session_rates:[| 1. |]
+      ~user_session:[| 0; 0 |] ~rates:[| [| 6.; 0. |] |] ~budget:0.9 ()
+  in
+  let ps =
+    Problem.make_sparse ~allow_uncovered:true ~session_rates:[| 1. |]
+      ~user_session:[| 0; 0 |]
+      ~sparse:(Sparse.make ~n_aps:1 ~links:[| [ (0, 6., 6.) ]; [] |])
+      ~budget:0.9 ()
+  in
+  Alcotest.(check (list int)) "dense coverable" [ 0 ]
+    (Problem.coverable_users pd);
+  Alcotest.(check (list int)) "sparse coverable" [ 0 ]
+    (Problem.coverable_users ps)
+
+let test_sparse_cannot_grow () =
+  let s = Sparse.make ~n_aps:2 ~links:[| [ (0, 6., 6.) ] |] in
+  (* re-arming a lost slot and zeroing an absent link are fine *)
+  Sparse.set_rate s ~ap:0 ~user:0 0.;
+  Sparse.set_rate s ~ap:0 ~user:0 9.;
+  Sparse.set_rate s ~ap:1 ~user:0 0.;
+  Alcotest.(check (float 0.)) "re-armed" 9. (Sparse.link_rate s ~ap:0 ~user:0);
+  (* growing an absent link is not *)
+  try
+    Sparse.set_rate s ~ap:1 ~user:0 6.;
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_reprs_agree;
+      qcheck_ssa;
+      qcheck_mnu;
+      qcheck_mnu_lazy;
+      qcheck_mla;
+      qcheck_mla_layered;
+      qcheck_bla;
+      qcheck_dist_seq_total;
+      qcheck_dist_seq_vector;
+      qcheck_dist_sim;
+      qcheck_online;
+      qcheck_churn_mla;
+      qcheck_churn_bla;
+      qcheck_grid_no_false_negatives;
+      qcheck_grid_sorted;
+      qcheck_grid_permutation_invariant;
+      qcheck_shard_total;
+      qcheck_shard_vector;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "sparse"
+    [
+      ("differential", qcheck_cases);
+      ( "grid",
+        [ tc "exact reach and cell boundaries" test_grid_exact_boundaries ] );
+      ( "shard",
+        [
+          tc "fig9a scale, jobs 1/2/4" test_shard_fig9a_jobs;
+          tc "city 2000x40000 golden, j1 = j4" test_city_golden;
+        ] );
+      ( "validate",
+        [
+          tc "empty candidate lists rejected" test_validate_rejects_uncovered;
+          tc "sparse slots cannot grow" test_sparse_cannot_grow;
+        ] );
+    ]

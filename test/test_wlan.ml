@@ -158,8 +158,8 @@ let test_problem_strongest_ap () =
 
 let test_problem_no_neighbor () =
   let p =
-    Problem.make ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
-      ~rates:[| [| 1.; 0. |] |] ~budget:1. ()
+    Problem.make ~allow_uncovered:true ~session_rates:[| 1. |]
+      ~user_session:[| 0; 0 |] ~rates:[| [| 1.; 0. |] |] ~budget:1. ()
   in
   Alcotest.(check (option int)) "isolated user" None (Problem.strongest_ap p 1);
   Alcotest.(check (list int)) "coverable" [ 0 ] (Problem.coverable_users p)
@@ -360,13 +360,14 @@ let test_generator_determinism () =
   let b = Scenario_gen.problems ~seed:7 ~n:3 cfg in
   List.iter2
     (fun (pa : Problem.t) (pb : Problem.t) ->
-      Alcotest.(check bool) "same rates" true Problem.(pa.rates = pb.rates);
+      Alcotest.(check bool) "same rates" true
+        (Problem.rates_matrix pa = Problem.rates_matrix pb);
       Alcotest.(check bool) "same sessions" true
         Problem.(pa.user_session = pb.user_session))
     a b;
   let c = Scenario_gen.problems ~seed:8 ~n:1 cfg in
   Alcotest.(check bool) "different seed differs" false
-    Problem.((List.hd a).rates = (List.hd c).rates)
+    (Problem.rates_matrix (List.hd a) = Problem.rates_matrix (List.hd c))
 
 let test_generator_coverage () =
   let cfg =
@@ -413,8 +414,8 @@ let test_topology_stats_fig1 () =
 
 let test_topology_stats_uncovered () =
   let p =
-    Problem.make ~session_rates:[| 1. |] ~user_session:[| 0; 0 |]
-      ~rates:[| [| 6.; 0. |] |] ~budget:0.9 ()
+    Problem.make ~allow_uncovered:true ~session_rates:[| 1. |]
+      ~user_session:[| 0; 0 |] ~rates:[| [| 6.; 0. |] |] ~budget:0.9 ()
   in
   let t = Topology_stats.of_problem p in
   Alcotest.(check int) "one covered" 1 t.Topology_stats.covered_users;
@@ -455,7 +456,8 @@ let test_scenario_io_roundtrip () =
     (sc'.Scenario.user_session = sc.Scenario.user_session);
   (* the compiled problems are identical bit for bit *)
   let p = Scenario.to_problem sc and p' = Scenario.to_problem sc' in
-  Alcotest.(check bool) "identical rates" true Problem.(p.rates = p'.rates);
+  Alcotest.(check bool) "identical rates" true
+    (Problem.rates_matrix p = Problem.rates_matrix p');
   Alcotest.(check bool) "identical budget" true
     (Problem.budget p = Problem.budget p')
 
@@ -770,7 +772,7 @@ let prop_rate_adaptation_in_table =
       Array.for_all
         (Array.for_all (fun r ->
              r = 0. || List.exists (fun t -> feq t r) table))
-        Problem.(p.rates))
+        (Problem.rates_matrix p))
 
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
