@@ -81,6 +81,10 @@ let create ~jobs =
       stopped = false;
     }
   in
+  (* The pool's own control plane: workers must share [t] by design,
+     and every mutable field of it is only ever touched under [t.m] (or
+     is the batch's atomic cursor). *)
+  (* lint: allow shared-mutable-escape *)
   t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
   t
 

@@ -45,7 +45,14 @@ let ap_tx_table st =
   tbl
 
 let load_of_table ~session_rates tbl =
-  Hashtbl.fold (fun s tx acc -> acc +. (session_rates.(s) /. tx)) tbl 0.
+  (* sum in session order, not Hashtbl bucket order: float addition is
+     not associative, so the merge order must not depend on the table's
+     insertion history *)
+  let bindings = Hashtbl.fold (fun s tx acc -> (s, tx) :: acc) tbl [] in
+  List.fold_left
+    (fun acc (s, tx) -> acc +. (session_rates.(s) /. tx))
+    0.
+    (List.sort compare bindings)
 
 let ap_load st ~session_rates = load_of_table ~session_rates (ap_tx_table st)
 

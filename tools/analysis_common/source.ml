@@ -1,0 +1,27 @@
+(** Reading and parsing source files, shared by both analyzers.
+
+    wlan-lint lints the parsetree directly; wlan-race analyzes compiled
+    [.cmt] typedtrees but still re-parses the corresponding [.ml] with
+    this module so that suppression attributes and comment directives
+    are resolved by the exact same code path in both tools. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_implementation ~path src =
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  Location.input_name := path;
+  Parse.implementation lexbuf
+
+(** Suppression spans and comment directives of one source file, ready
+    for {!Suppress.filter}. [Error] when the file does not parse (the
+    comment directives are still collected: they need no parsetree). *)
+let suppressions ~path src =
+  let directives = Suppress.comment_directives src in
+  match parse_implementation ~path src with
+  | str -> Ok (Suppress.allow_spans str, directives)
+  | exception _ -> Error directives

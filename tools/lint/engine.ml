@@ -1,6 +1,8 @@
 (** Driving the rules over files: parsing with compiler-libs, path
     classification, suppression filtering, directory walking. *)
 
+open Analysis_common
+
 let classify path =
   let segs = String.split_on_char '/' path in
   let in_lib = List.mem "lib" segs in
@@ -11,18 +13,12 @@ let classify path =
     print_exempt = in_lib && (base = "report.ml" || base = "trace.ml");
   }
 
-let parse_implementation ~path src =
-  let lexbuf = Lexing.from_string src in
-  Lexing.set_filename lexbuf path;
-  Location.input_name := path;
-  Parse.implementation lexbuf
-
 type error = { file : string; message : string }
 
 (** Lint one already-read source. [Error _] means the file does not
     parse — a build would fail too, but the linter must not crash. *)
 let lint_source ?(rules = Rules.all) ~path src =
-  match parse_implementation ~path src with
+  match Source.parse_implementation ~path src with
   | exception exn -> (
       match Location.error_of_exn exn with
       | Some (`Ok report) ->
@@ -39,13 +35,7 @@ let lint_source ?(rules = Rules.all) ~path src =
       let directives = Suppress.comment_directives src in
       Ok (List.sort Diagnostic.compare (Suppress.filter ~spans ~directives diags))
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-let lint_file ?rules path = lint_source ?rules ~path (read_file path)
+let lint_file ?rules path = lint_source ?rules ~path (Source.read_file path)
 
 (** Every [.ml] under [roots] (files are taken as-is), skipping [_build]
     and dot-directories, in sorted order. *)

@@ -7,6 +7,7 @@
     (and silenced with [[@lint.allow ...]]) consciously. *)
 
 open Parsetree
+open Analysis_common
 
 type ctx = {
   path : string;  (** path as reported in diagnostics *)

@@ -4,6 +4,7 @@
    fixtures are parse-only lint fodder — they are data, not build units. *)
 
 open Wlan_lint_kernel
+open Analysis_common
 
 let fixture_dir = "../fixtures"
 

@@ -6,6 +6,7 @@
    or usage errors. *)
 
 open Wlan_lint_kernel
+open Analysis_common
 
 let usage =
   "wlan-lint [options] [path ...]\n\

@@ -1,0 +1,66 @@
+(** Orchestration: load [.cmt] units, build the lattice and summaries
+    over the {e whole} tree, run the per-unit checks, then filter
+    through the shared suppression machinery by re-parsing each
+    source file with [Analysis_common.Source] — the same attribute and
+    comment parser wlan-lint uses, so one escape-hatch language serves
+    both tools. *)
+
+open Analysis_common
+
+type error = { file : string; message : string }
+
+type result = {
+  units : int;
+  diagnostics : Diagnostic.t list;
+  errors : error list;
+}
+
+let default_roots = [ "lib"; "bin"; "bench"; "examples" ]
+
+let rule_ids = List.map fst Checks.all_rules
+let find_rule id = List.find_opt (( = ) id) rule_ids
+
+(* Suppression state of one source file, cached across the (typically
+   several) diagnostics pointing into it. *)
+let suppressions_for source_on_disk source =
+  match source_on_disk with
+  | None -> ([], [])
+  | Some path -> (
+      match Source.read_file path with
+      | exception _ -> ([], [])
+      | src -> (
+          match Source.suppressions ~path:source src with
+          | Ok (spans, directives) -> (spans, directives)
+          | Error directives -> ([], directives)))
+
+let run ?(rules = rule_ids) ?prefix roots =
+  let units, load_errors = Loader.load ?prefix roots in
+  let decls = Lattice.collect units in
+  let sums = Summaries.collect ~decls units in
+  let diagnostics =
+    List.concat_map
+      (fun (u : Loader.unit_info) ->
+        let diags =
+          Checks.check_unit ~decls ~sums u
+          |> List.filter (fun (d : Diagnostic.t) -> List.mem d.rule rules)
+          (* several capture paths can land on one (rule, site) pair;
+             report each once *)
+          |> List.sort_uniq Diagnostic.compare
+        in
+        match diags with
+        | [] -> []
+        | diags ->
+            let spans, directives =
+              suppressions_for u.source_on_disk u.source
+            in
+            Suppress.filter ~spans ~directives diags)
+      units
+  in
+  {
+    units = List.length units;
+    diagnostics = List.sort Diagnostic.compare diagnostics;
+    errors =
+      List.map
+        (fun (e : Loader.error) -> { file = e.file; message = e.message })
+        load_errors;
+  }

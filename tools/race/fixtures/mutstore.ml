@@ -1,0 +1,9 @@
+(* Cross-module half of the interprocedural fixture: a module-global
+   mutable store behind an innocent-looking function. A pooled task that
+   calls [bump] — in another compilation unit — must be flagged with the
+   chain through this summary. *)
+
+let store : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let bump k =
+  Hashtbl.replace store k (1 + Option.value ~default:0 (Hashtbl.find_opt store k))

@@ -1,0 +1,11 @@
+(* Positive fixture for non-commutative-counter: pooled code touching
+   the counter plane outside the commutative incr/add/record_max API. *)
+
+let hits = Wlan_obs.Counters.make "race_fixture.hits"
+
+let observe_in_task pool =
+  Harness.Pool.run pool [ (fun () -> Wlan_obs.Counters.value hits) ]
+
+let reset_in_task pool xs =
+  Harness.Pool.run pool
+    (List.map (fun x () -> if x = 0 then Wlan_obs.Counters.reset ()) xs)

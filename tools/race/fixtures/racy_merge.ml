@@ -1,0 +1,9 @@
+(* Positive fixture for order-sensitive-merge: float accumulation in
+   Hashtbl bucket order, directly and through a fold over a Hashtbl
+   sequence. *)
+
+let direct_fold (tbl : (int, float) Hashtbl.t) =
+  Hashtbl.fold (fun _ v acc -> acc +. v) tbl 0.
+
+let seq_fold (tbl : (int, float) Hashtbl.t) =
+  List.fold_left ( +. ) 0. (List.of_seq (Seq.map snd (Hashtbl.to_seq tbl)))

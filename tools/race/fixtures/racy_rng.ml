@@ -1,0 +1,14 @@
+(* Positive fixture for ambient-rng-in-task: tapping the global Random
+   stream inside a pooled task, seeding from the outside world, and
+   capturing one shared Random.State across tasks. *)
+
+let ambient pool n =
+  Harness.Pool.run pool [ (fun () -> Random.int n) ]
+
+let self_seeded pool =
+  Harness.Pool.run pool [ (fun () -> Random.State.make_self_init ()) ]
+
+let shared_state pool n =
+  let st = Random.State.make [| 42 |] in
+  Harness.Pool.run pool
+    [ (fun () -> Random.State.int st n); (fun () -> Random.State.int st n) ]

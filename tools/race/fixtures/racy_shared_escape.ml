@@ -1,0 +1,19 @@
+(* Positive fixture for shared-mutable-escape: every capture path the
+   rule covers — strong local capture, written weak (array) capture,
+   module-global reach, and the cross-module interprocedural chain
+   through Mutstore.bump. *)
+
+let tallies : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let local_capture pool xs =
+  let acc = Hashtbl.create 8 in
+  Harness.Pool.run pool (List.map (fun x () -> Hashtbl.replace acc x (x * x)) xs)
+
+let global_reach pool xs =
+  Harness.Pool.run pool (List.map (fun x () -> Hashtbl.replace tallies x x) xs)
+
+let via_call pool xs =
+  Harness.Pool.run pool (List.map (fun x () -> Mutstore.bump x) xs)
+
+let written_plane pool (plane : float array) =
+  Harness.Pool.run pool [ (fun () -> plane.(0) <- plane.(0) +. 1.) ]

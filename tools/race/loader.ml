@@ -1,0 +1,96 @@
+(** Discovery and loading of [.cmt] typedtrees.
+
+    Roots are source directories ([lib bin bench examples]); their
+    compiled annotations live under dune's hidden [.<lib>.objs/byte]
+    directories, so — unlike the source-walking linter — the walk
+    descends into dot-directories. The build-order contract
+    (tools/race/README.md): [.cmt] files are only as fresh as the last
+    [dune build], which is why the [@race] alias depends on [@default].
+
+    When invoked from the repository root (e.g. [dune exec
+    tools/race/wlan_race.exe]) the walker transparently prefixes
+    [_build/default]; when invoked from inside the build context (the
+    [@race] alias) the roots are used as-is. *)
+
+type unit_info = {
+  modname : string list;  (** canonical module segments, e.g. [Harness; Pool] *)
+  source : string;  (** source path as compiled, e.g. lib/harness/pool.ml *)
+  source_on_disk : string option;  (** resolved readable copy, if any *)
+  str : Typedtree.structure;
+}
+
+type error = { file : string; message : string }
+
+(** [_build/default] prefix when running outside the build context. *)
+let build_prefix () =
+  if Sys.file_exists "_build/default" && Sys.is_directory "_build/default" then
+    Some "_build/default"
+  else None
+
+let discover ?prefix roots =
+  let prefix = match prefix with Some p -> p | None -> Option.value ~default:"" (build_prefix ()) in
+  let in_build r = if prefix = "" then r else Filename.concat prefix r in
+  let acc = ref [] in
+  let rec walk path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list |> List.sort String.compare
+      |> List.iter (fun entry -> walk (Filename.concat path entry))
+    else if Filename.check_suffix path ".cmt" then acc := path :: !acc
+  in
+  List.iter (fun r -> let r = in_build r in if Sys.file_exists r then walk r) roots;
+  List.rev !acc
+
+(* The recorded path is relative to dune's build context, so it only
+   resolves when the analyzer happens to run from the repository root
+   (where dune keeps a source copy at the same relative path) or from
+   the context itself. The third candidate derives the copy next to the
+   .cmt: dune lays artifacts out at <dir>/.<lib>.objs/byte/M.cmt with
+   the compiled source at <dir>/<base>, whatever the cwd. *)
+let resolve_source ~builddir ~cmt_path source =
+  let beside_cmt =
+    Filename.concat
+      (Filename.dirname (Filename.dirname (Filename.dirname cmt_path)))
+      (Filename.basename source)
+  in
+  let candidates =
+    [ source; Filename.concat builddir source; beside_cmt ]
+  in
+  List.find_opt Sys.file_exists candidates
+
+let read_unit path =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+      Error { file = path; message = Printexc.to_string exn }
+  | infos -> (
+      match infos.cmt_annots with
+      | Implementation str ->
+          let source =
+            Option.value ~default:(Filename.basename path) infos.cmt_sourcefile
+          in
+          Ok
+            (Some
+               {
+                 modname = Names.segments_of_string infos.cmt_modname;
+                 source;
+                 source_on_disk =
+                   resolve_source ~builddir:infos.cmt_builddir ~cmt_path:path
+                     source;
+                 str;
+               })
+      | _ -> Ok None (* interfaces, partial implementations: nothing to scan *))
+
+(** Load every implementation unit under [roots]; deterministic order
+    (sorted by source path). Units that fail to load are reported, not
+    fatal: a stale or version-skewed [.cmt] must name itself. *)
+let load ?prefix roots =
+  let units, errors =
+    List.fold_left
+      (fun (us, es) path ->
+        match read_unit path with
+        | Ok (Some u) -> (u :: us, es)
+        | Ok None -> (us, es)
+        | Error e -> (us, e :: es))
+      ([], []) (discover ?prefix roots)
+  in
+  ( List.sort (fun a b -> compare (a.source, a.modname) (b.source, b.modname)) units,
+    List.rev errors )

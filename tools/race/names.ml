@@ -1,0 +1,122 @@
+(** Canonical dotted names across the dune name-mangling boundary.
+
+    The same value is reachable under several spellings depending on
+    where the reference sits: [Harness.Pool.run] from outside the
+    library, [Pool.run] resolved through dune's generated alias module
+    ([Harness__.Pool.run]) from a sibling, or the mangled persistent
+    name [Harness__Pool.run]. All of them canonicalize to the segment
+    list [["Harness"; "Pool"; "run"]]: every dotted segment is split on
+    ["__"] (dropping the empty piece a trailing ["__"] leaves behind)
+    and [Stdlib] prefixes are erased. Matching between use sites and
+    definitions is exact first, unique-suffix second (see
+    {!suffix_matches}) — a deliberate heuristic, documented in
+    DESIGN.md §4.11. *)
+
+let split_mangled seg =
+  (* "Harness__Pool" -> ["Harness"; "Pool"]; "Harness__" -> ["Harness"] *)
+  let parts = ref [] and buf = Buffer.create (String.length seg) in
+  let n = String.length seg in
+  let i = ref 0 in
+  while !i < n do
+    if !i + 1 < n && seg.[!i] = '_' && seg.[!i + 1] = '_' then begin
+      if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
+      Buffer.clear buf;
+      i := !i + 2
+    end
+    else begin
+      Buffer.add_char buf seg.[!i];
+      incr i
+    end
+  done;
+  if Buffer.length buf > 0 then parts := Buffer.contents buf :: !parts;
+  List.rev !parts
+
+(* Dune mangles with a lowercased library prefix in file names but the
+   module name proper is capitalized; normalize first letters so both
+   spellings meet. *)
+let capitalize = String.capitalize_ascii
+
+let segments_of_string name =
+  String.split_on_char '.' name
+  |> List.concat_map split_mangled
+  |> List.filter (fun s -> s <> "Stdlib" && s <> "")
+  |> List.map capitalize
+
+let segments_of_path p = segments_of_string (Path.name p)
+
+(* Value/type segments keep their case (only module segments are
+   capitalized by dune); recover by lowering nothing — instead keep the
+   original last segment. *)
+let canon_of_path p =
+  let raw =
+    String.split_on_char '.' (Path.name p)
+    |> List.concat_map split_mangled
+    |> List.filter (fun s -> s <> "Stdlib" && s <> "")
+  in
+  match List.rev raw with
+  | [] -> []
+  | last :: rev_mods -> List.rev_map capitalize rev_mods @ [ last ]
+
+let to_string segs = String.concat "." segs
+
+(** [last2 segs] — the "Module.value" suffix used for API pattern
+    matching ([Pool.run], [Counters.incr], ...). *)
+let last2 segs =
+  match List.rev segs with
+  | v :: m :: _ -> Some (m, v)
+  | _ -> None
+
+let is_suffix ~suffix l =
+  let ls = List.length suffix and ll = List.length l in
+  ls <= ll
+  &&
+  let rec drop n = function x when n = 0 -> x | _ :: t -> drop (n - 1) t | [] -> [] in
+  drop (ll - ls) l = suffix
+
+(** A table of definitions keyed by canonical segment lists, resolved
+    exactly or — when the use site's path is shorter (a reference from
+    inside the defining library or through a local module alias) — by
+    unique suffix. *)
+module Table = struct
+  type 'a t = {
+    exact : (string, 'a) Hashtbl.t;
+    by_suffix : (string, string list) Hashtbl.t;
+        (** "M.v" (last2) -> full keys having that suffix *)
+  }
+
+  let create () = { exact = Hashtbl.create 256; by_suffix = Hashtbl.create 256 }
+
+  let add t segs v =
+    let key = to_string segs in
+    Hashtbl.replace t.exact key v;
+    match last2 segs with
+    | None -> ()
+    | Some (m, x) ->
+        let sk = m ^ "." ^ x in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt t.by_suffix sk) in
+        if not (List.mem key prev) then
+          Hashtbl.replace t.by_suffix sk (key :: prev)
+
+  (** Resolve a use-site path: exact key match, else the unique
+      definition whose canonical key ends with the same "M.v" suffix
+      and of which the use path is itself a suffix. Returns the
+      definition's full key alongside the value. *)
+  let find_key t segs =
+    let key = to_string segs in
+    match Hashtbl.find_opt t.exact key with
+    | Some v -> Some (key, v)
+    | None -> (
+        match last2 segs with
+        | None -> None
+        | Some (m, x) -> (
+            match Hashtbl.find_opt t.by_suffix (m ^ "." ^ x) with
+            | Some [ key ] ->
+                let def = String.split_on_char '.' key in
+                if is_suffix ~suffix:segs def then
+                  Option.map (fun v -> (key, v)) (Hashtbl.find_opt t.exact key)
+                else None
+            | _ -> None))
+
+  let find t segs = Option.map snd (find_key t segs)
+  let iter f t = Hashtbl.iter f t.exact
+end
