@@ -30,7 +30,8 @@ let now_s () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
    here, to be written out as a Bench_json snapshot at exit. *)
 let bench_entries : Harness.Bench_json.entry list ref = ref []
 
-let record_entry name ~wall ~cpu =
+(* [cpu] is omitted (not zero-filled) for rows with no CPU sample. *)
+let record_entry ?cpu name ~wall =
   bench_entries :=
     { Harness.Bench_json.name; wall_s = wall; cpu_s = cpu } :: !bench_entries
 
@@ -145,7 +146,8 @@ let bechamel_run ~header tests =
       let est =
         match Analyze.OLS.estimates ols with
         | Some (t :: _) ->
-            record_entry ("bechamel:" ^ name) ~wall:(t /. 1e9) ~cpu:0.;
+            (* an OLS per-run estimate has no CPU-time counterpart *)
+            record_entry ("bechamel:" ^ name) ~wall:(t /. 1e9);
             Fmt.str "%12.0f ns/run" t
         | _ -> "          (n/a)"
       in
@@ -407,12 +409,12 @@ let bechamel_arg =
 let bench_json_arg =
   Arg.(
     value
-    & opt ~vopt:(Some "BENCH_PR6.json") (some string) None
+    & opt ~vopt:(Some "BENCH_PR8.json") (some string) None
     & info [ "bench-json" ] ~docv:"FILE"
         ~doc:
           "Write a performance snapshot (experiment wall times, \
            per-algorithm solve times, bechamel estimates when --bechamel \
-           is also given) as JSON to $(docv) (default: BENCH_PR6.json).")
+           is also given) as JSON to $(docv) (default: BENCH_PR8.json).")
 
 let bench_baseline_arg =
   Arg.(
@@ -425,9 +427,41 @@ let bench_baseline_arg =
 
 let bench_label_arg =
   Arg.(
-    value & opt string "PR6"
+    value & opt string "PR8"
     & info [ "bench-label" ] ~docv:"LABEL"
         ~doc:"Label stored in the --bench-json snapshot.")
+
+let bench_compare_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bench-compare" ] ~docv:"FILE"
+        ~doc:
+          "Compare this run's timings against the committed snapshot \
+           $(docv) (a previous --bench-json file) and exit non-zero if \
+           any entry present in both regressed past --bench-threshold. \
+           Implies timing the per-algorithm and city rows even without \
+           --bench-json.")
+
+let bench_threshold_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "bench-threshold" ] ~docv:"FRAC"
+        ~doc:
+          "Allowed wall-time regression for --bench-compare, as a \
+           fraction of the baseline (default 0.5: fail past 1.5x). \
+           Generous by default so single-rep --quick runs on loaded CI \
+           machines do not flap.")
+
+let bench_min_wall_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "bench-min-wall" ] ~docv:"SECONDS"
+        ~doc:
+          "Ignore --bench-compare rows whose baseline wall time is \
+           below $(docv) (default 0.05). Micro rows (a few hundred µs) \
+           regress by whole multiples from a single cache miss; only \
+           rows above the noise floor can fail the run.")
 
 let profile_arg =
   Arg.(
@@ -474,7 +508,8 @@ let write_bench_json ~path ~label ~baseline_path ~jobs ~quick ~seed =
         (Harness.Bench_json.speedups ~baseline:b.entries ~current:snapshot)
 
 let main names scenarios small seed node_limit jobs quick csv bech bench_json
-    bench_baseline bench_label profile =
+    bench_baseline bench_label bench_compare bench_threshold bench_min_wall
+    profile =
   csv_dir := csv;
   let jobs = Int.max 1 jobs in
   if profile then begin
@@ -510,13 +545,63 @@ let main names scenarios small seed node_limit jobs quick csv bech bench_json
     bechamel_algorithms ();
     bechamel_pool ~jobs ()
   end;
+  if bench_json <> None || bench_compare <> None then begin
+    algorithm_timings ~quick ();
+    city_timings ~quick ()
+  end;
+  (* read the comparison snapshot before --bench-json possibly
+     overwrites the same path *)
+  let compare_base =
+    match bench_compare with
+    | None -> None
+    | Some f ->
+        let ic = open_in f in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        (match Harness.Bench_json.parse s with
+        | Some b -> Some b
+        | None ->
+            Fmt.epr "bench-compare: %s is not a bench-json snapshot@." f;
+            exit 2)
+  in
   (match bench_json with
   | None -> ()
   | Some path ->
-      algorithm_timings ~quick ();
-      city_timings ~quick ();
       write_bench_json ~path ~label:bench_label ~baseline_path:bench_baseline
         ~jobs ~quick ~seed);
+  let regressed =
+    match compare_base with
+    | None -> false
+    | Some base -> (
+        if base.Harness.Bench_json.quick <> quick then
+          Fmt.epr
+            "bench-compare note: baseline %s was %s run, this is %s — \
+             experiment rows are not comparable; only same-scale alg: rows \
+             can regress@."
+            base.Harness.Bench_json.label
+            (if base.Harness.Bench_json.quick then "a --quick" else "a full")
+            (if quick then "--quick" else "full");
+        match
+          Harness.Bench_json.regressions ~min_wall:bench_min_wall
+            ~threshold:bench_threshold
+            ~baseline:base.Harness.Bench_json.entries
+            ~current:(List.rev !bench_entries) ()
+        with
+        | [] ->
+            Fmt.pr
+              "[bench-compare: ok, no entry over %.3fs slower than %.2fx \
+               %s]@."
+              bench_min_wall (1. +. bench_threshold)
+              base.Harness.Bench_json.label;
+            false
+        | regs ->
+            List.iter
+              (fun (name, ratio) ->
+                Fmt.epr "bench-compare REGRESSION %-44s %6.2fx vs %s@." name
+                  ratio base.Harness.Bench_json.label)
+              regs;
+            true)
+  in
   if profile then begin
     Wlan_obs.Counters.set_enabled false;
     let report =
@@ -529,7 +614,8 @@ let main names scenarios small seed node_limit jobs quick csv bech bench_json
   Fmt.pr "@.total wall time: %.1fs (cpu %.1fs, %.2fx, jobs=%d)@." wall
     (Sys.time () -. c0)
     (if wall > 0. then (Sys.time () -. c0) /. wall else 1.)
-    jobs
+    jobs;
+  if regressed then exit 1
 
 let cmd =
   Cmd.v
@@ -540,6 +626,8 @@ let cmd =
     Term.(
       const main $ experiments_arg $ scenarios_arg $ small_arg $ seed_arg
       $ node_limit_arg $ jobs_arg $ quick_arg $ csv_arg $ bechamel_arg
-      $ bench_json_arg $ bench_baseline_arg $ bench_label_arg $ profile_arg)
+      $ bench_json_arg $ bench_baseline_arg $ bench_label_arg
+      $ bench_compare_arg $ bench_threshold_arg $ bench_min_wall_arg
+      $ profile_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -45,9 +45,17 @@ let run ?(mode = `Soft) ?engine ?strategy ?fanout ?(n_guesses = 12) p =
   let inst = Reduction.cover_instance p in
   let universe = Reduction.coverable_users p in
   let grid = Optkit.Scg.default_grid ~n_guesses ~universe inst in
+  (* grid probes reuse one arena's scratch planes — but only when they
+     run on the default sequential fanout; an injected fanout may be a
+     pool, and arenas must never cross domains *)
+  let arena =
+    match fanout with
+    | None -> Some (Optkit.Arena.create ())
+    | Some _ -> None
+  in
   let feasible =
-    Optkit.Scg.solve_grid ~mode ?engine ?strategy ?fanout inst ~universe ~grid
-      ()
+    Optkit.Scg.solve_grid ~mode ?engine ?arena ?strategy ?fanout inst ~universe
+      ~grid ()
   in
   match feasible with
   | [] -> None

@@ -147,7 +147,175 @@ let decide_tracked p assoc tr ~neighbors ~objective u =
     ~load:(Loads.Tracker.ap_load tr)
     ~objective u
 
-let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
+(** {2 Flat decision kernel (DESIGN.md §4.12)}
+
+    The boxed rule above allocates per decision: a filtered candidate
+    list, a scored assoc list, and — under [Min_load_vector] — a fresh
+    sorted array per candidate. The flat kernel computes the {e same}
+    decision into preallocated scratch planes:
+
+    - the hypothetical queries are cached once per decision — one
+      [load_if_joins] per neighbor, one [load_if_leaves] for the serving
+      AP — instead of re-asked per candidate evaluation. The queries are
+      pure, so the cached floats are bit-identical to the boxed rule's
+      repeated calls;
+    - candidate vectors are built in two reused buffers (best / trial,
+      swapped on improvement) and compared over their logical prefix;
+    - the fold visits feasible neighbors in the same ascending order and
+      applies the same eps comparisons and signal tie-break, so the
+      chosen AP — and hence every downstream float — is identical.
+
+    Scratch lives in an {!Optkit.Arena}: one allocation per run (or per
+    [Online] network), reused across every decision and settle. *)
+
+type scratch = {
+  arena : Optkit.Arena.t;
+  mutable cap : int;  (* all planes hold at least [cap] entries *)
+  mutable nbr : int array;  (* live neighborhood (Online fills this) *)
+  mutable join_l : float array;  (* load_if_joins per neighbor *)
+  mutable vec_a : float array;  (* candidate vector buffers, swapped *)
+  mutable vec_b : float array;
+  mutable vec_stay : float array;
+}
+
+let scratch_ensure s n =
+  if n > s.cap then begin
+    s.nbr <- Optkit.Arena.ints s.arena "dist.nbr" n;
+    s.join_l <- Optkit.Arena.floats s.arena "dist.join" n;
+    s.vec_a <- Optkit.Arena.floats s.arena "dist.vec_a" n;
+    s.vec_b <- Optkit.Arena.floats s.arena "dist.vec_b" n;
+    s.vec_stay <- Optkit.Arena.floats s.arena "dist.vec_stay" n;
+    s.cap <- Array.length s.join_l
+  end
+
+let make_scratch () =
+  let s =
+    {
+      arena = Optkit.Arena.create ();
+      cap = 0;
+      nbr = [||];
+      join_l = [||];
+      vec_a = [||];
+      vec_b = [||];
+      vec_stay = [||];
+    }
+  in
+  scratch_ensure s 1;
+  s
+
+(* In-place non-increasing insertion sort of [a.(0..n-1)] — the flat
+   counterpart of [Loads.sorted_load_vector]. Loads are never nan, so any
+   correct descending sort yields the identical value sequence. *)
+let sort_desc (a : float array) n =
+  for i = 1 to n - 1 do
+    let x = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && a.(!j) < x do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- x
+  done
+
+(* The local rule of [decide_with], on scratch planes against the tracker.
+   [nbr.(0..d-1)] is the (live, ascending) neighborhood; the caller has
+   [scratch_ensure]d capacity [d]. [rates]/[sigs], when given, carry the
+   neighbors' precomputed link rates and signals (static topologies only:
+   they must equal the live [Problem] queries). Decision-for-decision
+   equivalence with the boxed rule is pinned by the qcheck battery in
+   [test_flat.ml]. *)
+let decide_flat p tr scr ~nbr ~d ?rates ?sigs ~current ~objective u =
+  Wlan_obs.Counters.incr c_decisions;
+  if d = 0 then None
+  else begin
+    scratch_ensure scr d;
+    let old_ap = current in
+    let join_l = scr.join_l in
+    Loads.Tracker.load_if_joins_into tr ~user:u ?rates ~nbr ~d ~into:join_l ();
+    let base_l = Loads.Tracker.loads tr in
+    let leave_v =
+      if old_ap = Association.none then 0.
+      else Loads.Tracker.load_if_leaves tr ~user:u ~ap:old_ap
+    in
+    let signal_at k a =
+      match sigs with
+      | Some sg -> sg.(k)
+      | None -> Problem.signal p ~ap:a ~user:u
+    in
+    (* [hypothetical] of the boxed rule, reading the caches (the live
+       loads array stands in for the per-neighbor [load b] reads: no move
+       happens mid-decision). The [b = new_ap] test comes first, so
+       evaluating a stay at the serving AP reads the join cache exactly
+       as the boxed rule calls [if_joins] there. *)
+    let hyp k new_ap =
+      let b = nbr.(k) in
+      if b = new_ap then join_l.(k)
+      else if b = old_ap then leave_v
+      else base_l.(b)
+    in
+    (* objective vector of a hypothetical move, into [dst]; returns the
+       logical length ([Min_total_load] boxes its scalar sum at index 0,
+       folded in neighbor order like the boxed rule's [fold_left]) *)
+    let eval_into new_ap (dst : float array) =
+      match objective with
+      | Min_total_load ->
+          let acc = ref 0. in
+          for k = 0 to d - 1 do
+            acc := !acc +. hyp k new_ap
+          done;
+          dst.(0) <- !acc;
+          1
+      | Min_load_vector ->
+          for k = 0 to d - 1 do
+            dst.(k) <- hyp k new_ap
+          done;
+          sort_desc dst d;
+          d
+    in
+    (* fold over feasible neighbors in ascending order: first feasible
+       seeds the best, later ones replace it on a strictly better vector
+       or an eps-equal vector with strictly stronger signal — the boxed
+       [List.fold_left] over [scored], without building it *)
+    let bv = ref scr.vec_a and tv = ref scr.vec_b in
+    let have_best = ref false in
+    let best_ap = ref 0 in
+    let best_k = ref 0 in
+    for k = 0 to d - 1 do
+      let a = nbr.(k) in
+      if a = current || join_l.(k) <= Problem.ap_budget p a +. 1e-12 then
+        if not !have_best then begin
+          ignore (eval_into a !bv : int);
+          best_ap := a;
+          best_k := k;
+          have_best := true
+        end
+        else begin
+          let len = eval_into a !tv in
+          let c = Loads.compare_load_prefixes_eps ~len !tv !bv in
+          if
+            c < 0
+            || c = 0 && signal_at k a > signal_at !best_k !best_ap +. 1e-12
+          then begin
+            let swap = !bv in
+            bv := !tv;
+            tv := swap;
+            best_ap := a;
+            best_k := k
+          end
+        end
+    done;
+    if not !have_best then None
+    else if current = Association.none then Some !best_ap
+    else if !best_ap <> current then begin
+      let len = eval_into current scr.vec_stay in
+      if Loads.compare_load_prefixes_eps ~len !bv scr.vec_stay < 0 then
+        Some !best_ap
+      else None
+    end
+    else None
+  end
+
+let run ?init ?(max_rounds = 200) ?(kernel = `Flat) ~scheduler ~objective p =
   Wlan_obs.Counters.incr c_runs;
   let n_aps, n_users = Problem.dims p in
   let assoc =
@@ -158,6 +326,39 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
   let tr = Loads.Tracker.create p assoc in
   (* the neighbor sets are static: compute each user's once per run *)
   let neighbors = Array.init n_users (Problem.neighbor_aps p) in
+  (* flat kernel state: per-user neighborhood planes — AP, link rate and
+     signal side by side, filled by one candidate sweep (the topology is
+     static for the whole run, so the cached rates and signals are
+     exactly what the live queries return) — plus scratch sized to the
+     maximum degree *)
+  let flat =
+    match kernel with
+    | `Boxed -> None
+    | `Flat ->
+        let nbr = Array.make n_users [||] in
+        let nrate = Array.make n_users [||] in
+        let nsig = Array.make n_users [||] in
+        let max_d = ref 1 in
+        for u = 0 to n_users - 1 do
+          let deg = List.length neighbors.(u) in
+          let a_ = Array.make deg 0 in
+          let r_ = Array.make deg 0. in
+          let s_ = Array.make deg 0. in
+          let i = ref 0 in
+          Problem.iter_candidates p u (fun a r sg ->
+              a_.(!i) <- a;
+              r_.(!i) <- r;
+              s_.(!i) <- sg;
+              incr i);
+          nbr.(u) <- a_;
+          nrate.(u) <- r_;
+          nsig.(u) <- s_;
+          max_d := Int.max !max_d deg
+        done;
+        let scr = make_scratch () in
+        scratch_ensure scr !max_d;
+        Some (nbr, nrate, nsig, scr)
+  in
   (* Decision memoisation. A user's decision is a pure function of its own
      association and the tracker state of its neighbor APs (loads and tx
      rows), and that state only changes when some user moves into or out
@@ -189,7 +390,14 @@ let run ?init ?(max_rounds = 200) ~scheduler ~objective p =
       None
     end
     else begin
-      let d = decide_tracked p assoc tr ~neighbors:neighbors.(u) ~objective u in
+      let d =
+        match flat with
+        | Some (nbr, nrate, nsig, scr) ->
+            decide_flat p tr scr ~nbr:nbr.(u) ~d:(Array.length nbr.(u))
+              ~rates:nrate.(u) ~sigs:nsig.(u) ~current:assoc.(u) ~objective u
+        | None ->
+            decide_tracked p assoc tr ~neighbors:neighbors.(u) ~objective u
+      in
       if d = None then stay_stamp.(u) <- s;
       Some d
     end
@@ -328,6 +536,10 @@ module Online = struct
         (* AP -> users with that AP in their base neighborhood, ascending *)
     dirty : bool array;
     mutable n_dirty : int;
+    kernel : [ `Flat | `Boxed ];
+    scr : scratch;
+        (* flat-kernel scratch, reused across every settle; grown when
+           [set_rate] raises a neighborhood's degree *)
   }
 
   let mark t u =
@@ -344,7 +556,7 @@ module Online = struct
 
   let mark_watchers t a = List.iter (mark t) t.watchers.(a)
 
-  let create ?init ?present ~objective p =
+  let create ?init ?present ?(kernel = `Flat) ~objective p =
     let n_aps, n_users = Problem.dims p in
     let p = Problem.copy_for_mutation p in
     let present =
@@ -382,8 +594,13 @@ module Online = struct
         watchers;
         dirty = Array.make n_users false;
         n_dirty = 0;
+        kernel;
+        scr = make_scratch ();
       }
     in
+    Array.iter
+      (fun ns -> scratch_ensure t.scr (List.length ns))
+      t.neighbors;
     for u = 0 to n_users - 1 do
       mark t u
     done;
@@ -411,11 +628,29 @@ module Online = struct
   let live_neighbors t u = List.filter (fun a -> t.alive.(a)) t.neighbors.(u)
 
   let decide_online t u =
-    decide_with t.p ~neighbors:(live_neighbors t u) ~current:t.assoc.(u)
-      ~if_joins:(fun ~user ~ap -> Loads.Tracker.load_if_joins t.tr ~user ~ap)
-      ~if_leaves:(fun ~user ~ap -> Loads.Tracker.load_if_leaves t.tr ~user ~ap)
-      ~load:(Loads.Tracker.ap_load t.tr)
-      ~objective:t.objective u
+    match t.kernel with
+    | `Boxed ->
+        decide_with t.p ~neighbors:(live_neighbors t u) ~current:t.assoc.(u)
+          ~if_joins:(fun ~user ~ap ->
+            Loads.Tracker.load_if_joins t.tr ~user ~ap)
+          ~if_leaves:(fun ~user ~ap ->
+            Loads.Tracker.load_if_leaves t.tr ~user ~ap)
+          ~load:(Loads.Tracker.ap_load t.tr)
+          ~objective:t.objective u
+    | `Flat ->
+        (* fill the live neighborhood plane: the alive filter over the
+           ascending base list, order preserved like [live_neighbors] *)
+        let nbr = t.scr.nbr in
+        let d = ref 0 in
+        List.iter
+          (fun a ->
+            if t.alive.(a) then begin
+              nbr.(!d) <- a;
+              incr d
+            end)
+          t.neighbors.(u);
+        decide_flat t.p t.tr t.scr ~nbr ~d:!d ~current:t.assoc.(u)
+          ~objective:t.objective u
 
   let apply_move t ~user ~ap =
     let old_ap = t.assoc.(user) in
@@ -502,7 +737,10 @@ module Online = struct
       (if (old > 0.) <> (rate > 0.) then
          if rate > 0. then begin
            t.neighbors.(user) <- List.sort Int.compare (ap :: t.neighbors.(user));
-           t.watchers.(ap) <- List.sort Int.compare (user :: t.watchers.(ap))
+           t.watchers.(ap) <- List.sort Int.compare (user :: t.watchers.(ap));
+           (* the flat kernel fills [scr.nbr] before deciding: keep the
+              scratch planes at least as large as any neighborhood *)
+           scratch_ensure t.scr (List.length t.neighbors.(user))
          end
          else begin
            t.neighbors.(user) <- List.filter (fun a -> a <> ap) t.neighbors.(user);

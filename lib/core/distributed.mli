@@ -39,10 +39,18 @@ val decide :
   int option
 
 (** Run rounds of local decisions from [init] (default: all unserved)
-    until a fixpoint, oscillation, or [max_rounds] (default 200). *)
+    until a fixpoint, oscillation, or [max_rounds] (default 200).
+
+    [kernel] selects how each decision is computed: [`Flat] (the
+    default) evaluates candidates in preallocated arena scratch planes
+    with per-decision hypothetical-load caching; [`Boxed] is the
+    original list-and-array rule, kept as the differential reference.
+    Both compute bit-identical decisions (and floats) — pinned by the
+    qcheck battery in [test_flat.ml]. *)
 val run :
   ?init:Association.t ->
   ?max_rounds:int ->
+  ?kernel:[ `Flat | `Boxed ] ->
   scheduler:scheduler ->
   objective:objective ->
   Problem.t ->
@@ -67,10 +75,13 @@ module Online : sig
       and — unless [present] says otherwise — every user present and
       dirty. [init] seeds the association (absent users are forced
       unserved). Raises [Invalid_argument] if [init] serves a user over
-      a zero-rate link. *)
+      a zero-rate link. [kernel] as in {!run}: [`Flat] (default) decides
+      in reused arena scratch, [`Boxed] is the reference rule — both
+      bit-identical. *)
   val create :
     ?init:Association.t ->
     ?present:bool array ->
+    ?kernel:[ `Flat | `Boxed ] ->
     objective:objective ->
     Problem.t ->
     t

@@ -252,6 +252,263 @@ let solve ?plan:pl ?(fanout = List.map (fun f -> f ())) ?max_rounds ~objective
     n_shards = List.length pl.shards;
   }
 
+(** {1 Shard-aware centralized reductions}
+
+    The covering reductions decompose over interaction components too:
+    a covering set (AP, session, rate) only contains users of its AP's
+    shard, so gains, per-group spent budgets and replays never cross
+    shards. Two things are global and must be re-made globally:
+
+    - the H1/H2 repair keeps whichever half covers more {e overall} —
+      per-shard [Mcg.resplit] weights are summed and the same half kept
+      everywhere;
+    - SCG's per-round keep decision likewise, so the [B*] probes run all
+      shards in lockstep, round by round.
+
+    Both drivers run the [`Lazy] engine (sharded [`Classic] is not
+    well-defined: its layout-resolved ties depend on global pop/re-push
+    interleavings that sharding removes; [`Lazy]'s lower-index total
+    order makes per-shard selection sequences exactly the unsharded
+    run's projection). Merged associations are byte-identical to the
+    unsharded [`Lazy] solves — pinned by the differential suites in
+    [test/test_flat.ml]. *)
+
+let mnu_sharded_name = "MNU-centralized-sharded"
+let bla_sharded_name = "BLA-centralized-sharded"
+
+(** [solve_mnu p] — sharded Centralized MNU: per-shard budgeted greedy
+    ([engine] defaults to [`Lazy]; [`Classic] would resolve score ties
+    layout-dependently and is not equivalence-safe here), H1/H2 halves
+    recomputed per shard and the keep decision made on the summed
+    weights. [fanout] runs the per-shard solves (inject
+    [Harness.Pool.run pool]; results are consumed in submission order,
+    so the merged association is identical at any job count). *)
+let solve_mnu ?plan:pl ?(engine = `Lazy) ?(fanout = List.map (fun f -> f ()))
+    p =
+  let pl = match pl with Some x -> x | None -> plan p in
+  let _, n_users = Problem.dims p in
+  let parts =
+    fanout
+      (List.map
+         (fun sh () ->
+           let sub = extract p sh in
+           let inst = Reduction.cover_instance ~filter_over_budget:true sub in
+           let universe = Reduction.coverable_users sub in
+           let budgets =
+             Array.init
+               (Optkit.Cover_instance.n_groups inst)
+               (Problem.ap_budget sub)
+           in
+           let r = Optkit.Mcg.greedy ~engine inst ~budgets ~universe () in
+           let sp =
+             Optkit.Mcg.resplit inst ~budgets ~universe
+               ~raw_order:r.Optkit.Mcg.raw_order
+           in
+           let local_of sels =
+             Reduction.association_of_selections sub inst
+               (List.map
+                  (fun (s : Optkit.Mcg.selection) -> (s.set, s.newly))
+                  sels)
+           in
+           (sp.Optkit.Mcg.w1, sp.Optkit.Mcg.w2, local_of sp.Optkit.Mcg.h1,
+            local_of sp.Optkit.Mcg.h2))
+         pl.shards)
+  in
+  let w1 = List.fold_left (fun acc (w, _, _, _) -> acc +. w) 0. parts in
+  let w2 = List.fold_left (fun acc (_, w, _, _) -> acc +. w) 0. parts in
+  let keep_h1 = w1 >= w2 in
+  let assoc = Association.empty ~n_users in
+  List.iter2
+    (fun sh (_, _, a1, a2) ->
+      Wlan_obs.Counters.incr c_halo_reconciles;
+      let local = if keep_h1 then a1 else a2 in
+      Array.iteri
+        (fun lu la ->
+          if la <> Association.none then assoc.(sh.users.(lu)) <- sh.aps.(la))
+        local)
+    pl.shards parts;
+  Solution.make ~algorithm:mnu_sharded_name p assoc
+
+(** [solve_bla p] — sharded Centralized BLA. The [B*] grid is the global
+    one ({!Optkit.Scg.grid_lo} decomposes as a max over shards); each
+    probe runs every shard's SCG rounds in lockstep through per-shard
+    {!Optkit.Mcg.session}s, making the per-round H1/H2 decision on the
+    summed weights, and is feasible when every shard's remaining set
+    empties within the global round cap. Feasible probes are ranked
+    exactly as [Bla.run]: smallest summed-cover bound first, then the
+    smallest {e realized} max AP load wins. [fanout] evaluates the
+    per-probe thunks (submission order, as everywhere). [None] when no
+    [B* <= 1] is feasible. *)
+let solve_bla ?plan:pl ?(n_guesses = 12) ?(fanout = List.map (fun f -> f ()))
+    p =
+  let pl = match pl with Some x -> x | None -> plan p in
+  let _, n_users = Problem.dims p in
+  let subs =
+    Array.of_list
+      (List.map
+         (fun sh ->
+           let sub = extract p sh in
+           let inst = Reduction.cover_instance sub in
+           let universe = Reduction.coverable_users sub in
+           (sh, sub, inst, universe))
+         pl.shards)
+  in
+  let ns = Array.length subs in
+  let lo =
+    Array.fold_left
+      (fun acc (_, _, inst, u) ->
+        Float.max acc (Optkit.Scg.grid_lo ~universe:u inst))
+      1e-6 subs
+  in
+  let grid = Optkit.Scg.grid_points ~n_guesses lo in
+  let n_total =
+    Array.fold_left
+      (fun acc (_, _, _, u) -> acc + Optkit.Bitset.cardinal u)
+      0 subs
+  in
+  let k = Optkit.Scg.max_rounds_for n_total in
+  (* one lockstep probe at a fixed B*: per-shard sessions persist score
+     bounds across rounds; the arena is probe-local, so probes are safe
+     to fan out across domains *)
+  let probe bstar =
+    let arena = Optkit.Arena.create () in
+    let budgets =
+      Array.map
+        (fun (_, _, inst, _) ->
+          Array.make (Optkit.Cover_instance.n_groups inst) bstar)
+        subs
+    in
+    let sessions =
+      Array.mapi
+        (fun i (_, _, inst, _) ->
+          Optkit.Mcg.session ~arena inst ~budgets:budgets.(i))
+        subs
+    in
+    let remaining =
+      Array.map (fun (_, _, _, u) -> Optkit.Bitset.copy u) subs
+    in
+    let sels = Array.make ns [] (* selection lists per shard, reversed *) in
+    let group_cost =
+      Array.map
+        (fun (_, _, inst, _) ->
+          Array.make (Optkit.Cover_instance.n_groups inst) 0.)
+        subs
+    in
+    let all_covered () =
+      Array.for_all Optkit.Bitset.is_empty remaining
+    in
+    (try
+       for _ = 1 to k do
+         if all_covered () then raise Exit;
+         let splits =
+           Array.mapi
+             (fun i (_, _, inst, _) ->
+               if Optkit.Bitset.is_empty remaining.(i) then None
+               else
+                 let r =
+                   Optkit.Mcg.session_round sessions.(i)
+                     ~remaining:remaining.(i)
+                 in
+                 Some
+                   (Optkit.Mcg.resplit inst ~budgets:budgets.(i)
+                      ~universe:remaining.(i)
+                      ~raw_order:r.Optkit.Mcg.raw_order))
+             subs
+         in
+         let w1 = ref 0. and w2 = ref 0. in
+         Array.iter
+           (function
+             | None -> ()
+             | Some (sp : Optkit.Mcg.split) ->
+                 w1 := !w1 +. sp.w1;
+                 w2 := !w2 +. sp.w2)
+           splits;
+         let keep_h1 = !w1 >= !w2 in
+         let progress = ref 0 in
+         Array.iter
+           (function
+             | None -> ()
+             | Some (sp : Optkit.Mcg.split) ->
+                 progress :=
+                   !progress
+                   + Optkit.Bitset.cardinal
+                       (if keep_h1 then sp.cov1 else sp.cov2))
+           splits;
+         if !progress = 0 then raise Exit (* no progress: infeasible *);
+         Array.iteri
+           (fun i sp ->
+             match sp with
+             | None -> ()
+             | Some (sp : Optkit.Mcg.split) ->
+                 let half = if keep_h1 then sp.h1 else sp.h2 in
+                 let cov = if keep_h1 then sp.cov1 else sp.cov2 in
+                 let _, _, inst, _ = subs.(i) in
+                 List.iter
+                   (fun (s : Optkit.Mcg.selection) ->
+                     let g = Optkit.Cover_instance.group inst s.set in
+                     group_cost.(i).(g) <-
+                       group_cost.(i).(g)
+                       +. Optkit.Cover_instance.cost inst s.set;
+                     sels.(i) <- s :: sels.(i))
+                   half;
+                 Optkit.Bitset.diff_inplace remaining.(i) cov)
+           splits
+       done
+     with Exit -> ());
+    let max_gc =
+      Array.fold_left
+        (fun acc gc -> Array.fold_left Float.max acc gc)
+        0. group_cost
+    in
+    let feasible = all_covered () in
+    let assoc = Association.empty ~n_users in
+    if feasible then
+      Array.iteri
+        (fun i shard_sels ->
+          let sh, sub, inst, _ = subs.(i) in
+          let local =
+            Reduction.association_of_selections sub inst
+              (List.map
+                 (fun (s : Optkit.Mcg.selection) -> (s.set, s.newly))
+                 (List.rev shard_sels))
+          in
+          Array.iteri
+            (fun lu la ->
+              if la <> Association.none then
+                assoc.(sh.users.(lu)) <- sh.aps.(la))
+            local)
+        sels;
+    (feasible, max_gc, assoc)
+  in
+  let results = fanout (List.map (fun bstar () -> probe bstar) grid) in
+  let feasible =
+    List.filter_map
+      (fun (ok, max_gc, assoc) -> if ok then Some (max_gc, assoc) else None)
+      results
+  in
+  match feasible with
+  | [] -> None
+  | _ ->
+      Array.iter
+        (fun _ -> Wlan_obs.Counters.incr c_halo_reconciles)
+        subs;
+      (* rank exactly as the unsharded driver: ascending summed-cover
+         bound (stable on ties), then the smallest realized max load
+         with a strict 1e-12 improvement *)
+      let sorted =
+        List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) feasible
+      in
+      let sols =
+        List.map
+          (fun (_, assoc) -> Solution.make ~algorithm:bla_sharded_name p assoc)
+          sorted
+      in
+      Some
+        (List.fold_left
+           (fun (best : Solution.t) (s : Solution.t) ->
+             if s.max_load < best.max_load -. 1e-12 then s else best)
+           (List.hd sols) (List.tl sols))
+
 let pp_plan ppf pl =
   Fmt.pf ppf "@[<v>%d shards (%d idle APs, %d uncovered users)@,%a@]"
     (List.length pl.shards)

@@ -68,4 +68,47 @@ val solve :
   Problem.t ->
   result
 
+(** {1 Shard-aware centralized reductions}
+
+    The covering reductions decompose over interaction components: a
+    covering set only contains users of its AP's shard, so gains, spent
+    budgets and replays never cross shards. The globally-coupled pieces
+    — the H1/H2 repair's keep decision, and SCG's per-round variant of
+    it — are re-made on weights summed across shards, reproducing the
+    unsharded choice. Both drivers run the [`Lazy] engine (its
+    lower-index total tie order makes per-shard selection sequences
+    exactly the unsharded run's projection; [`Classic]'s layout-resolved
+    ties are not sharding-safe), so the merged association is
+    byte-identical to the unsharded [`Lazy] solve. *)
+
+(** Sharded Centralized MNU (Fig. 3 per shard, global H1/H2 decision).
+    [fanout] spreads the per-shard solve thunks over domains (each
+    yields the shard's two candidate half-associations and their
+    weights); submission-order consumption keeps the result identical
+    at any job count. *)
+val solve_mnu :
+  ?plan:plan ->
+  ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?fanout:
+    ((unit -> float * float * Association.t * Association.t) list ->
+    (float * float * Association.t * Association.t) list) ->
+  Problem.t ->
+  Solution.t
+
+(** Sharded Centralized BLA (Fig. 6): the global [B*] grid's probes run
+    every shard's SCG rounds in lockstep through {!Optkit.Mcg.session}s,
+    then feasible probes are ranked exactly as [Bla.run] (summed-cover
+    bound, then realized max load). [fanout] evaluates the per-probe
+    thunks (each yields feasibility, the probe's max summed group cost,
+    and its merged association). [None] when no [B* <= 1] is
+    feasible. *)
+val solve_bla :
+  ?plan:plan ->
+  ?n_guesses:int ->
+  ?fanout:
+    ((unit -> bool * float * Association.t) list ->
+    (bool * float * Association.t) list) ->
+  Problem.t ->
+  Solution.t option
+
 val pp_plan : Format.formatter -> plan -> unit

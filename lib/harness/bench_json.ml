@@ -19,7 +19,7 @@
     to the binary. The parser is line-oriented and only guaranteed to
     read what {!render} wrote — it is not a general JSON parser. *)
 
-type entry = { name : string; wall_s : float; cpu_s : float }
+type entry = { name : string; wall_s : float; cpu_s : float option }
 
 type snapshot = {
   label : string;  (** e.g. "PR3" — identifies the measured tree *)
@@ -51,10 +51,16 @@ let escape s =
     s;
   Buffer.contents b
 
+(* cpu_s is omitted, not zero-filled, when the row has no CPU sample *)
 let render_entry b ~indent { name; wall_s; cpu_s } ~last =
+  let cpu =
+    match cpu_s with
+    | Some c -> Printf.sprintf ", \"cpu_s\": %.6f" c
+    | None -> ""
+  in
   Buffer.add_string b
-    (Printf.sprintf "%s{ \"name\": \"%s\", \"wall_s\": %.6f, \"cpu_s\": %.6f }%s\n"
-       indent (escape name) wall_s cpu_s
+    (Printf.sprintf "%s{ \"name\": \"%s\", \"wall_s\": %.6f%s }%s\n" indent
+       (escape name) wall_s cpu
        (if last then "" else ","))
 
 let render_entries b ~indent entries =
@@ -72,6 +78,23 @@ let speedups ~baseline ~current =
       | Some b when c.wall_s > 0. -> Some (c.name, b.wall_s /. c.wall_s)
       | _ -> None)
     current.entries
+
+(** Slowdown rows past [threshold]: entries of both lists whose current
+    wall exceeds [baseline * (1 + threshold)], worst first. Baseline
+    rows faster than [min_wall] are below the single-rep timing noise
+    floor (a 200 µs row can "double" from one cache miss) and are
+    skipped entirely. *)
+let regressions ?(min_wall = 0.) ~threshold ~baseline ~current () =
+  List.filter_map
+    (fun (c : entry) ->
+      match List.find_opt (fun (b : entry) -> b.name = c.name) baseline with
+      | Some b
+        when b.wall_s >= min_wall && b.wall_s > 0.
+             && c.wall_s > b.wall_s *. (1. +. threshold) ->
+          Some (c.name, c.wall_s /. b.wall_s)
+      | _ -> None)
+    current
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
 
 (** [render snapshot ~baseline] is the full JSON document. When
     [baseline] is given its entries are embedded verbatim under
@@ -160,12 +183,11 @@ let parse s =
             done_entries := true
           end
           else
-            match
-              (string_field line "name", float_field line "wall_s",
-               float_field line "cpu_s")
-            with
-            | Some name, Some wall_s, Some cpu_s ->
-                entries := { name; wall_s; cpu_s } :: !entries
+            match (string_field line "name", float_field line "wall_s") with
+            | Some name, Some wall_s ->
+                entries :=
+                  { name; wall_s; cpu_s = float_field line "cpu_s" }
+                  :: !entries
             | _ -> ()
         end
         else begin

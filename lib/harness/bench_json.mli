@@ -10,7 +10,12 @@ type entry = {
       (** namespaced: ["exp:<id>"], ["alg:<name>@<aps>x<users>"] or
           ["bechamel:<test>"] *)
   wall_s : float;  (** wall-clock seconds (monotonic source) *)
-  cpu_s : float;  (** process CPU seconds, all domains *)
+  cpu_s : float option;
+      (** process CPU seconds, all domains; [None] when the row has no
+          CPU measurement (bechamel OLS estimates time single runs from
+          a regression — there is no per-run CPU sample to report, and
+          a fabricated [0.] used to be written). The field is omitted
+          from the JSON when absent. *)
 }
 
 type snapshot = {
@@ -35,6 +40,23 @@ val render : ?baseline:snapshot -> snapshot -> string
 (** Speedup rows for entries present in both snapshots. *)
 val speedups :
   baseline:entry list -> current:snapshot -> (string * float) list
+
+(** [regressions ~threshold ~baseline ~current ()] — entries present in
+    both whose current wall time exceeds the baseline's by more than
+    [threshold] (a fraction: [0.5] flags anything slower than 1.5x the
+    baseline), as [(name, current/baseline)] slowdown ratios, worst
+    first. Entries appearing on only one side are ignored, as are
+    baseline rows with non-positive wall times and rows whose baseline
+    wall is below [min_wall] (default [0.]) — micro rows under the
+    single-rep timing noise floor regress by whole multiples from one
+    cache miss and would make the check flap. *)
+val regressions :
+  ?min_wall:float ->
+  threshold:float ->
+  baseline:entry list ->
+  current:entry list ->
+  unit ->
+  (string * float) list
 
 (** Recover the label, config and {e top-level} entries of a document
     written by {!render}; [None] if [s] is not one. An embedded

@@ -35,6 +35,11 @@ type node = {
   name : string;
   count : int;  (** completed activations *)
   total_s : float;  (** wall seconds, summed over activations *)
+  minor_words : float;
+      (** main-domain words allocated in the minor heap during the
+          span's activations ([Gc.quick_stat] deltas) — allocation
+          pressure per driver, same nondeterminism caveats as time *)
+  promoted_words : float;  (** words promoted to the major heap *)
   children : node list;  (** first-opened first *)
 }
 
@@ -47,4 +52,5 @@ val reset : unit -> unit
 
 val pp_tree : Format.formatter -> node list -> unit
 (** Indented text rendering: one line per node —
-    [name  count  total-ms] — children indented two spaces. *)
+    [name  count  total-ms  minor-Mw  promoted-Mw] — children indented
+    two spaces. *)

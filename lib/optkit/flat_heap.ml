@@ -1,0 +1,148 @@
+(** Structure-of-arrays lazy max-heap bank (DESIGN.md §4.12).
+
+    A bank holds one max-heap per group in two flat planes — a float
+    priority plane and an int value plane — laid out CSR-style by a fixed
+    per-group capacity. The heap algorithm is {e operation-for-operation}
+    the same as {!Lazy_heap} (append + sift-up on push, move-last +
+    sift-down on pop, stale tops re-inserted by {!pop_max}), so a bank
+    driven by the same push/pop sequence reaches the same internal layout
+    and resolves equal-priority comparisons identically: results are
+    bit-identical to the boxed heaps, without a [{prio; value}] record
+    allocated per entry.
+
+    Capacities are fixed at {!make}: the greedy cores never hold more
+    entries per group than they seed (pops precede re-pushes), so the
+    seed count is a static bound. Planes can live in an {!Arena} and be
+    reused across probes; {!clear} resets every heap to empty without
+    touching the planes. *)
+
+type t = {
+  prio : float array;  (** priority plane, CSR by [off] *)
+  value : int array;  (** value plane, same layout *)
+  off : int array;  (** group [g]'s heap occupies [off.(g) .. off.(g+1)-1] *)
+  size : int array;  (** live entries per group *)
+  n_groups : int;
+  tie_lower_index : bool;
+      (** equal priorities: lower value wins (the [`Lazy] total order)
+          instead of layout order (the [`Classic] behavior) *)
+  mutable last_prio : float;  (** fresh priority of the last {!pop_max} *)
+}
+
+let make ?arena ?(slot = "flat_heap") ~tie ~capacities () =
+  let n_groups = Array.length capacities in
+  let total = Array.fold_left ( + ) 0 capacities in
+  let off, size, prio, value =
+    match arena with
+    | None ->
+        ( Array.make (n_groups + 1) 0,
+          Array.make (Int.max 1 n_groups) 0,
+          Array.make (Int.max 1 total) 0.,
+          Array.make (Int.max 1 total) 0 )
+    | Some a ->
+        ( Arena.ints a (slot ^ ".off") (n_groups + 1),
+          Arena.ints a (slot ^ ".size") (Int.max 1 n_groups),
+          Arena.floats a (slot ^ ".prio") (Int.max 1 total),
+          Arena.ints a (slot ^ ".value") (Int.max 1 total) )
+  in
+  off.(0) <- 0;
+  Array.iteri (fun g c -> off.(g + 1) <- off.(g) + c) capacities;
+  Array.fill size 0 n_groups 0;
+  {
+    prio;
+    value;
+    off;
+    size;
+    n_groups;
+    tie_lower_index = (match tie with `Lower_index -> true | `Layout -> false);
+    last_prio = neg_infinity;
+  }
+
+let clear t = Array.fill t.size 0 t.n_groups 0
+let size t g = t.size.(g)
+
+(* Heap order, identical to [Lazy_heap.beats]: priority first; exactly
+   equal priorities fall to the tie order — layout (no swap) or lower
+   value. [i]/[j] are plane indices. *)
+let beats t i j =
+  t.prio.(i) > t.prio.(j)
+  || (t.tie_lower_index
+     && (t.prio.(i) = t.prio.(j)) [@lint.allow float_eq]
+     && t.value.(i) < t.value.(j))
+
+let swap t i j =
+  let p = t.prio.(i) and v = t.value.(i) in
+  t.prio.(i) <- t.prio.(j);
+  t.value.(i) <- t.value.(j);
+  t.prio.(j) <- p;
+  t.value.(j) <- v
+
+let rec sift_up t ~base i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if beats t (base + i) (base + parent) then begin
+      swap t (base + i) (base + parent);
+      sift_up t ~base parent
+    end
+  end
+
+let rec sift_down t ~base ~size i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = if l < size && beats t (base + l) (base + i) then l else i in
+  let m = if r < size && beats t (base + r) (base + m) then r else m in
+  if m <> i then begin
+    swap t (base + i) (base + m);
+    sift_down t ~base ~size m
+  end
+
+let push t g ~prio v =
+  let base = t.off.(g) in
+  let sz = t.size.(g) in
+  if base + sz >= t.off.(g + 1) then
+    invalid_arg "Flat_heap.push: group capacity exceeded";
+  t.prio.(base + sz) <- prio;
+  t.value.(base + sz) <- v;
+  t.size.(g) <- sz + 1;
+  sift_up t ~base sz
+
+(* Pop the stored top of group [g]; the caller has checked non-emptiness.
+   Returns the value, leaving its stored priority in [last_prio]. *)
+let pop_top t g =
+  let base = t.off.(g) in
+  let v = t.value.(base) and p = t.prio.(base) in
+  let sz = t.size.(g) - 1 in
+  t.size.(g) <- sz;
+  if sz > 0 then begin
+    t.prio.(base) <- t.prio.(base + sz);
+    t.value.(base) <- t.value.(base + sz);
+    sift_down t ~base ~size:sz 0
+  end;
+  t.last_prio <- p;
+  v
+
+(** [pop_max t g ~revalidate] pops group [g]'s element with the maximal
+    {e fresh} priority — the exact protocol of {!Lazy_heap.pop_max}
+    (stale tops re-inserted, [neg_infinity] dropped, accept within
+    [1e-12] of the stored bound). Returns [-1] when the heap empties;
+    otherwise the value, with its fresh priority in {!last_prio}. *)
+let rec pop_max t g ~revalidate =
+  if t.size.(g) = 0 then -1
+  else begin
+    let v = pop_top t g in
+    let stored = t.last_prio in
+    let fresh = revalidate v in
+    if (fresh = neg_infinity) [@lint.allow float_eq] then
+      pop_max t g ~revalidate
+    else if fresh >= stored -. 1e-12 then begin
+      t.last_prio <- fresh;
+      v
+    end
+    else begin
+      push t g ~prio:fresh v;
+      pop_max t g ~revalidate
+    end
+  end
+
+(** Stored priority of group [g]'s root — an O(1) upper bound on its best
+    fresh priority; [neg_infinity] when empty. *)
+let top_bound t g =
+  if t.size.(g) = 0 then neg_infinity else t.prio.(t.off.(g))

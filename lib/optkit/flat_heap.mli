@@ -1,0 +1,49 @@
+(** Structure-of-arrays lazy max-heap bank: one max-heap per group in two
+    flat CSR planes (float priorities, int values), running the exact
+    {!Lazy_heap} algorithm — same sift order, same stale-top revalidation
+    protocol, same tie resolution — so results are bit-identical to the
+    boxed heaps with zero per-entry allocation. Capacities are fixed at
+    {!make} (the greedy cores never exceed their seed counts); planes can
+    be arena-backed and reused across solves. *)
+
+type t = { (* exposed for the kernels' hot loops *)
+  prio : float array;
+  value : int array;
+  off : int array;
+  size : int array;
+  n_groups : int;
+  tie_lower_index : bool;
+  mutable last_prio : float;
+}
+
+(** [make ~tie ~capacities ()] builds an empty bank with
+    [Array.length capacities] groups. [`Layout] resolves equal priorities
+    by heap layout (the [`Classic] behavior); [`Lower_index] by lower
+    value (the [`Lazy] total order). With [?arena] the planes are
+    acquired from (and reusable through) the arena under [?slot]. *)
+val make :
+  ?arena:Arena.t ->
+  ?slot:string ->
+  tie:[ `Layout | `Lower_index ] ->
+  capacities:int array ->
+  unit ->
+  t
+
+(** Empty every heap; planes (and their contents) are untouched. *)
+val clear : t -> unit
+
+val size : t -> int -> int
+
+(** [push t g ~prio v] inserts [v] into group [g]'s heap.
+    @raise Invalid_argument past the group's capacity. *)
+val push : t -> int -> prio:float -> int -> unit
+
+(** [pop_max t g ~revalidate] pops group [g]'s element of maximal fresh
+    priority under the {!Lazy_heap.pop_max} protocol (stale tops
+    re-inserted, [neg_infinity] dropped). [-1] when the heap empties;
+    otherwise the value, its fresh priority left in [last_prio]. *)
+val pop_max : t -> int -> revalidate:(int -> float) -> int
+
+(** Stored root priority of group [g] — an upper bound on its best fresh
+    priority; [neg_infinity] when empty. *)
+val top_bound : t -> int -> float

@@ -35,16 +35,72 @@ type result = {
     bound cannot beat the best validated score are not re-scored) — the
     fast engine for large instances; it may differ from [`Classic] only
     where two sets tie exactly on [gain/cost]. [`Eager] rescans all sets
-    each round and produces the same selection sequence as [`Lazy]. *)
+    each round and produces the same selection sequence as [`Lazy].
+
+    All engines run on flat SoA planes (heap bank and per-round candidate
+    planes, DESIGN.md §4.12) that replicate the boxed structures
+    operation-for-operation — results are bit-identical to the original
+    record-based implementation. [arena] lets repeated solves (the SCG
+    grid probes) reuse those planes instead of re-allocating; it never
+    changes the result, and must not be shared across pool domains. *)
 val greedy :
   ?mode:[ `Soft | `Hard ] ->
   ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?arena:Arena.t ->
   ?element_weights:float array ->
   'a Cover_instance.t ->
   budgets:float array ->
   ?universe:Bitset.t ->
   unit ->
   result
+
+(** {1 SCG sessions} *)
+
+type 'a session
+
+(** [session inst ~budgets] prepares cross-round state for the SCG
+    iteration (DESIGN.md §4.12): because SCG's remaining set only
+    shrinks, a set's last exactly-computed score upper-bounds its score
+    in every later round, so successive {!session_round} calls seed each
+    round's heap bank from the stored bound plane with {e zero} gain
+    evaluations and re-score only the sets the previous round popped.
+    Unweighted coverage only (what SCG uses). [arena] backs the heap and
+    candidate planes across rounds; same sharing rules as {!greedy}. *)
+val session :
+  ?mode:[ `Soft | `Hard ] ->
+  ?arena:Arena.t ->
+  'a Cover_instance.t ->
+  budgets:float array ->
+  'a session
+
+(** One round against [remaining] — must be a subset of every earlier
+    round's (the SCG driver's shrinking uncovered set). Selections are
+    identical to a fresh [greedy ~engine:`Lazy ~universe:remaining]. *)
+val session_round : 'a session -> remaining:Bitset.t -> result
+
+(** {1 Split recomputation for sharded drivers} *)
+
+type split = {
+  h1 : selection list;  (** within-budget selections, replayed *)
+  h2 : selection list;  (** overshooting selections, replayed *)
+  cov1 : Bitset.t;
+  cov2 : Bitset.t;
+  w1 : float;  (** weight of [cov1], as {!greedy} would score it *)
+  w2 : float;
+}
+
+(** Recompute both halves of the H1/H2 repair from a result's
+    [raw_order] (same [budgets]/[universe]/[element_weights] as the run
+    that produced it). The H1/H2 keep decision is global — a sharded
+    driver sums the halves' weights across shards and keeps the same
+    half everywhere, reproducing the unsharded choice. *)
+val resplit :
+  ?element_weights:float array ->
+  'a Cover_instance.t ->
+  budgets:float array ->
+  universe:Bitset.t ->
+  raw_order:int list ->
+  split
 
 (** Number of elements the solution covers. *)
 val coverage : result -> int

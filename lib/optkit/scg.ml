@@ -37,8 +37,12 @@ let max_group_cost r = Array.fold_left Float.max 0. r.group_cost
 (** One SCG run for a fixed [B*]. When [universe] is given explicitly it is
     taken literally: elements of it that no set contains make the run
     infeasible (the default universe is everything coverable).
-    [engine] is passed through to {!Mcg.greedy}. *)
-let solve_for ?(mode = `Soft) ?engine inst ~bstar ?universe () =
+    [engine] is passed through to {!Mcg.greedy} — except [`Lazy], whose
+    rounds run through an {!Mcg.session} so set-score bounds persist
+    across the shrinking remaining set (identical selections, no
+    per-round seed pass). [arena] backs each round's heap and candidate
+    planes; it must not be shared across pool domains. *)
+let solve_for ?(mode = `Soft) ?engine ?arena inst ~bstar ?universe () =
   Wlan_obs.Counters.incr c_solves;
   let x0 =
     match universe with
@@ -52,11 +56,19 @@ let solve_for ?(mode = `Soft) ?engine inst ~bstar ?universe () =
   let rounds = ref [] in
   let group_cost = Array.make n_groups 0. in
   let k = max_rounds_for n in
+  let round =
+    match engine with
+    | Some `Lazy ->
+        let s = Mcg.session ~mode ?arena inst ~budgets in
+        fun () -> Mcg.session_round s ~remaining
+    | _ ->
+        fun () -> Mcg.greedy ~mode ?engine ?arena inst ~budgets ~universe:remaining ()
+  in
   (try
      for _ = 1 to k do
        if Bitset.is_empty remaining then raise Exit;
        Wlan_obs.Counters.incr c_rounds;
-       let r = Mcg.greedy ~mode ?engine inst ~budgets ~universe:remaining () in
+       let r = round () in
        if Bitset.is_empty r.covered then raise Exit (* no progress: infeasible *);
        rounds := r :: !rounds;
        Array.iteri (fun g c -> group_cost.(g) <- group_cost.(g) +. c) r.group_cost;
@@ -79,7 +91,7 @@ let solve_for ?(mode = `Soft) ?engine inst ~bstar ?universe () =
     end is [max_e min_{S ∋ e} c(S)] — below it some element of the universe
     cannot be covered at all (MCG refuses sets costing more than the group
     budget). *)
-let default_grid ?(n_guesses = 12) ?universe inst =
+let grid_lo ?universe inst =
   let u =
     match universe with
     | Some u -> u
@@ -100,12 +112,17 @@ let default_grid ?(n_guesses = 12) ?universe inst =
         else Float.max acc min_cost.(e))
       u 0.
   in
-  let lo = Float.max (Float.min lo 1.) 1e-6 in
+  Float.max (Float.min lo 1.) 1e-6
+
+let grid_points ?(n_guesses = 12) lo =
   if lo >= 1. then [ 1. ]
   else
     List.init n_guesses (fun i ->
         let t = float_of_int i /. float_of_int (n_guesses - 1) in
         lo *. ((1. /. lo) ** t))
+
+let default_grid ?n_guesses ?universe inst =
+  grid_points ?n_guesses (grid_lo ?universe inst)
 
 (** Try the [B*] guesses of [grid] and return all feasible runs computed,
     best (smallest realized max group cost) first.
@@ -125,12 +142,17 @@ let default_grid ?(n_guesses = 12) ?universe inst =
       evaluations. Only the runs actually evaluated are returned (always
       including the smallest feasible guess), so a caller ranking by
       {e realized} cost sees a subset of [`Exhaustive]'s candidates.
-      [fanout] is unused: each probe depends on the previous verdict. *)
-let solve_grid ?mode ?engine ?(strategy = `Exhaustive)
+      [fanout] is unused: each probe depends on the previous verdict.
+
+    [arena] lets successive probes reuse their scratch planes — pass it
+    only with the default sequential [fanout] (or [`Bisect], which is
+    always sequential): an arena must never be shared across pool
+    domains. *)
+let solve_grid ?mode ?engine ?arena ?(strategy = `Exhaustive)
     ?(fanout = List.map (fun f -> f ())) inst ?universe ~grid () =
   let run bstar =
     Wlan_obs.Counters.incr c_grid_probes;
-    solve_for ?mode ?engine inst ~bstar ?universe ()
+    solve_for ?mode ?engine ?arena inst ~bstar ?universe ()
   in
   let results =
     match strategy with
@@ -165,9 +187,9 @@ let solve_grid ?mode ?engine ?(strategy = `Exhaustive)
   |> List.sort (fun a b -> Float.compare (max_group_cost a) (max_group_cost b))
 
 (** Best feasible solution over the default grid, if any. *)
-let solve ?mode ?engine ?strategy ?fanout ?n_guesses inst ?universe () =
+let solve ?mode ?engine ?arena ?strategy ?fanout ?n_guesses inst ?universe () =
   match
-    solve_grid ?mode ?engine ?strategy ?fanout inst ?universe
+    solve_grid ?mode ?engine ?arena ?strategy ?fanout inst ?universe
       ~grid:(default_grid ?n_guesses ?universe inst)
       ()
   with

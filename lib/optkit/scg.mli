@@ -23,10 +23,15 @@ val max_group_cost : result -> float
 (** One run at a fixed [B*]. An explicitly-passed [universe] is taken
     literally (uncoverable members make the run infeasible); the default
     universe is everything coverable. [engine] is passed to
-    {!Mcg.greedy}. *)
+    {!Mcg.greedy}, except [`Lazy], whose rounds run through an
+    {!Mcg.session} so set-score bounds persist across the shrinking
+    remaining set — identical selections, no per-round seed pass.
+    [arena] backs each round's heap and candidate planes; never share
+    one across pool domains. *)
 val solve_for :
   ?mode:[ `Soft | `Hard ] ->
   ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?arena:Arena.t ->
   'a Cover_instance.t ->
   bstar:float ->
   ?universe:Bitset.t ->
@@ -37,6 +42,16 @@ val solve_for :
     ([max_e min_{S∋e} c(S)] over the universe) and 1. *)
 val default_grid :
   ?n_guesses:int -> ?universe:Bitset.t -> 'a Cover_instance.t -> float list
+
+(** The grid's clamped lower end, [max_e min_{S∋e} c(S)] over the
+    universe clamped to [[1e-6, 1]]. Decomposes over interaction
+    components: the global value is the max of per-shard values
+    (elements and the sets containing them never cross shards). *)
+val grid_lo : ?universe:Bitset.t -> 'a Cover_instance.t -> float
+
+(** The geometric guesses for a given lower end;
+    [default_grid = grid_points (grid_lo ...)]. *)
+val grid_points : ?n_guesses:int -> float -> float list
 
 (** Feasible runs over [grid], smallest realized max group cost first.
 
@@ -50,10 +65,15 @@ val default_grid :
     [`Bisect] binary-searches the ascending grid for the smallest
     feasible [B*] (feasibility is monotone in the budget), evaluating
     O(log |grid|) points and returning only those runs ([fanout]
-    unused — probes are sequentially dependent). *)
+    unused — probes are sequentially dependent).
+
+    [arena] lets successive probes reuse scratch planes — only pass one
+    with the default sequential [fanout] (or [`Bisect]): arenas must not
+    cross pool domains. *)
 val solve_grid :
   ?mode:[ `Soft | `Hard ] ->
   ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?arena:Arena.t ->
   ?strategy:[ `Exhaustive | `Bisect ] ->
   ?fanout:((unit -> result) list -> result list) ->
   'a Cover_instance.t ->
@@ -66,6 +86,7 @@ val solve_grid :
 val solve :
   ?mode:[ `Soft | `Hard ] ->
   ?engine:[ `Classic | `Lazy | `Eager ] ->
+  ?arena:Arena.t ->
   ?strategy:[ `Exhaustive | `Bisect ] ->
   ?fanout:((unit -> result) list -> result list) ->
   ?n_guesses:int ->

@@ -18,8 +18,13 @@ let cost_of_sets inst sets =
 
 (** Greedy weighted set cover: repeatedly pick the set maximizing
     [|S ∩ X'| / c(S)] (lazy-greedy heap), until everything coverable is
-    covered. [(ln n + 1)]-approximation (Theorem 6). *)
-let greedy ?(universe : Bitset.t option) inst =
+    covered. [(ln n + 1)]-approximation (Theorem 6).
+
+    The heap is a single-group {!Flat_heap} bank driven by the identical
+    push/pop sequence as the boxed {!Lazy_heap} it replaced, so the
+    selection order is bit-identical; [arena] reuses its planes across
+    solves. *)
+let greedy ?arena ?(universe : Bitset.t option) inst =
   let n = Cover_instance.n_elements inst in
   let x' =
     match universe with
@@ -27,11 +32,14 @@ let greedy ?(universe : Bitset.t option) inst =
     | None -> Cover_instance.coverable inst
   in
   let target = Bitset.copy x' in
-  let heap = Lazy_heap.create () in
+  let heap =
+    Flat_heap.make ?arena ~slot:"set_cover.heap" ~tie:`Layout
+      ~capacities:[| Cover_instance.n_sets inst |] ()
+  in
   for j = 0 to Cover_instance.n_sets inst - 1 do
     let gain = Bitset.inter_cardinal (Cover_instance.set inst j) x' in
     if gain > 0 then
-      Lazy_heap.push heap
+      Flat_heap.push heap 0
         ~prio:(float_of_int gain /. Cover_instance.cost inst j)
         j
   done;
@@ -43,12 +51,13 @@ let greedy ?(universe : Bitset.t option) inst =
   let chosen = ref [] in
   let continue = ref true in
   while !continue && not (Bitset.is_empty x') do
-    match Lazy_heap.pop_max heap ~revalidate with
-    | None -> continue := false
-    | Some (j, _) ->
-        let newly = Bitset.inter (Cover_instance.set inst j) x' in
-        chosen := { set = j; newly } :: !chosen;
-        Bitset.diff_inplace x' newly
+    let j = Flat_heap.pop_max heap 0 ~revalidate in
+    if j < 0 then continue := false
+    else begin
+      let newly = Bitset.inter (Cover_instance.set inst j) x' in
+      chosen := { set = j; newly } :: !chosen;
+      Bitset.diff_inplace x' newly
+    end
   done;
   let chosen = List.rev !chosen in
   let covered = Bitset.diff target x' in

@@ -106,6 +106,24 @@ let compare_load_vectors_eps ?(eps = 1e-9) (a : float array) (b : float array)
   in
   go 0
 
+(** {!compare_load_vectors_eps} over the length-[len] prefixes of [a] and
+    [b]. The flat decision kernel keeps its hypothetical load vectors in
+    reused scratch buffers whose capacity exceeds the neighborhood size,
+    so the logical length is carried separately; comparing equal-length
+    prefixes is exactly what {!compare_load_vectors_eps} computes on
+    exact-length arrays. *)
+let compare_load_prefixes_eps ?(eps = 1e-9) ~len (a : float array)
+    (b : float array) =
+  let rec go i =
+    if i = len then 0
+    else
+      let c = Float.compare a.(i) b.(i) in
+      if c = 0 then go (i + 1)
+      else if Float.abs (a.(i) -. b.(i)) <= eps then 0
+      else c
+  in
+  go 0
+
 (** [respects_budget p assoc] checks every AP's load against the per-AP
     multicast budget, with a small tolerance for float accumulation. *)
 let respects_budget ?(eps = 1e-9) p assoc =
@@ -189,6 +207,7 @@ module Tracker = struct
         (** [members.(a).(s)]: link-rate multiset of [a]'s session-[s] users *)
     tx : float array array;  (** cached min of [members.(a).(s)], or [0.] *)
     loads : float array;  (** cached per-AP loads, always exact *)
+    srates : float array;  (** session rates, copied out of [p] once *)
     mutable load_ms : int Fmap.t;  (** multiset of [loads] values *)
     mutable total : float;
     mutable total_dirty : bool;
@@ -235,6 +254,7 @@ module Tracker = struct
         members = Array.init n_aps (fun _ -> Array.make n_s Fmap.empty);
         tx = Array.make_matrix n_aps n_s 0.;
         loads = Array.make n_aps 0.;
+        srates = Array.init n_s (Problem.session_rate p);
         load_ms = (if n_aps = 0 then Fmap.empty else Fmap.singleton 0. n_aps);
         total = 0.;
         total_dirty = false;
@@ -271,14 +291,17 @@ module Tracker = struct
     t.total
 
   (* Hypothetical row sum with session [s]'s tx replaced by [hyp] — the
-     same traversal and float expression as [load_of_tx]. *)
+     same traversal and float expression as [load_of_tx]. A plain loop
+     (no closure per query: the flat decision kernel issues millions of
+     hypotheticals per run); [srates.(s')] is the same value
+     [Problem.session_rate] reads, so the floats are unchanged. *)
   let sum_with t ~ap ~s hyp =
+    let tx = t.tx.(ap) and srates = t.srates in
     let load = ref 0. in
-    Array.iteri
-      (fun s' r0 ->
-        let r' = if s' = s then hyp else r0 in
-        if r' > 0. then load := !load +. (Problem.session_rate t.p s' /. r'))
-      t.tx.(ap);
+    for s' = 0 to Array.length tx - 1 do
+      let r' = if s' = s then hyp else tx.(s') in
+      if r' > 0. then load := !load +. (srates.(s') /. r')
+    done;
     !load
 
   let load_if_joins t ~user ~ap =
@@ -296,6 +319,36 @@ module Tracker = struct
           if (cur = 0.) [@lint.allow float_eq] || r < cur then r else cur
         in
         sum_with t ~ap ~s hyp
+
+  (* Batched {!load_if_joins} over a neighborhood plane: one session
+     lookup for the whole batch, answers written into [into.(0..d-1)].
+     [rates] may carry the caller's precomputed link rates for
+     [nbr.(0..d-1)] (static topologies only — they must equal what
+     {!Problem.link_rate} returns); without it the rate is looked up per
+     AP. Each answer is the identical float the per-query function
+     computes. *)
+  let load_if_joins_into t ~user ?rates ~nbr ~d ~into () =
+    Wlan_obs.Counters.add c_hypotheticals d;
+    let s = Problem.user_session t.p user in
+    let current = t.assoc.(user) in
+    for k = 0 to d - 1 do
+      let ap = nbr.(k) in
+      into.(k) <-
+        (if current = ap then t.loads.(ap)
+         else
+           let r =
+             match rates with
+             | Some r -> r.(k)
+             | None -> Problem.link_rate t.p ~ap ~user
+           in
+           if not (r > 0.) then eager_load_if_joins t.p t.assoc ~user ~ap
+           else
+             let cur = t.tx.(ap).(s) in
+             let hyp =
+               if (cur = 0.) [@lint.allow float_eq] || r < cur then r else cur
+             in
+             sum_with t ~ap ~s hyp)
+    done
 
   let load_if_leaves t ~user ~ap =
     Wlan_obs.Counters.incr c_hypotheticals;

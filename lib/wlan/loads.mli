@@ -39,6 +39,13 @@ val compare_load_vectors : float array -> float array -> int
     gap > [eps]) is transitive. *)
 val compare_load_vectors_eps : ?eps:float -> float array -> float array -> int
 
+(** {!compare_load_vectors_eps} over the length-[len] prefixes of two
+    scratch buffers (both at least [len] long) — what the flat decision
+    kernel uses for vectors kept in reused arena buffers, where capacity
+    exceeds the logical neighborhood size. *)
+val compare_load_prefixes_eps :
+  ?eps:float -> len:int -> float array -> float array -> int
+
 (** Every AP within the per-AP multicast budget (tolerance [eps]). *)
 val respects_budget : ?eps:float -> Problem.t -> Association.t -> bool
 
@@ -94,4 +101,21 @@ module Tracker : sig
 
   val load_if_joins : t -> user:int -> ap:int -> float
   val load_if_leaves : t -> user:int -> ap:int -> float
+
+  (** Batched {!load_if_joins} over a neighborhood plane, for the flat
+      decision kernel: [load_if_joins_into t ~user ~nbr ~d ~into ()]
+      writes the hypothetical load of [nbr.(k)] into [into.(k)] for
+      [k < d] — each the identical float of the per-query call, with the
+      per-batch lookups hoisted. [rates] may carry precomputed link
+      rates for [nbr] (must equal {!Problem.link_rate}; only safe on
+      static topologies). *)
+  val load_if_joins_into :
+    t ->
+    user:int ->
+    ?rates:float array ->
+    nbr:int array ->
+    d:int ->
+    into:float array ->
+    unit ->
+    unit
 end

@@ -1,0 +1,349 @@
+(* The flat-kernel differential battery (PR 8): the structure-of-arrays
+   greedy cores and the shard-aware centralized reductions are proven
+   bit-identical to their reference implementations.
+
+   - Distributed kernels (qcheck): [`Flat] (preallocated scratch planes,
+     hypothetical-load caching) = [`Boxed] (the original list-and-array
+     rule) on the dense and sparse views, both objectives, Sequential
+     and Simultaneous — full outcome including float loads.
+   - Online kernels (qcheck): a seeded delta script (arrive / depart /
+     set_rate / fail_ap / recover_ap, settling after each burst) driven
+     through a [`Flat] and a [`Boxed] network stays in lockstep:
+     identical associations, loads and settle stats after every burst.
+   - Sharded centralized MNU/BLA (qcheck): [Shard.solve_mnu] /
+     [Shard.solve_bla] = the unsharded [Mnu.run ~engine:`Lazy] /
+     [Bla.run ~engine:`Lazy] on dense and sparse views, including
+     wide-area instances whose plans have several shards.
+   - Pool fanout: fig9a-size sharded centralized solves at --jobs 1/2/4
+     equal the unsharded runs.
+   - City scale: the sharded centralized MNU association on the
+     2000x40000 instance is pinned by a golden j1==j4 digest (the dense
+     matrix is never allocated).
+
+   The optkit-level halves of the battery — SCG session rounds = eager
+   rounds, arena-backed solves = fresh-allocation solves — live in
+   test_optkit.ml next to the instance generators. *)
+
+open Wlan_model
+open Mcast_core
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let read_golden path =
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  String.trim line
+
+let check_float_arrays what a b =
+  Alcotest.(check int) (what ^ " length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Float.equal x b.(i)) then
+        Alcotest.failf "%s: index %d differs: %.17g vs %.17g" what i x b.(i))
+    a
+
+(* Same seed-indexed geometric case family as test_sparse.ml; [wide]
+   spreads the same population over a 2 km square so the plan splits
+   into several interaction components. *)
+let case ?(wide = false) ~seed () =
+  let rng = Random.State.make [| seed; 0x59a25e |] in
+  let n_aps = 1 + Random.State.int rng 14 in
+  let n_users = 1 + Random.State.int rng 30 in
+  let n_sessions = 1 + Random.State.int rng 3 in
+  let budget = [| 0.3; 0.9; 2.0 |].(Random.State.int rng 3) in
+  let placement =
+    if Random.State.bool rng then Scenario_gen.Uniform
+    else Scenario_gen.Clustered { hotspots = 2; sigma_m = 80. }
+  in
+  let side = if wide then 2000. else 500. in
+  let cfg =
+    {
+      Scenario_gen.paper_default with
+      area_w = side;
+      area_h = side;
+      n_aps;
+      n_users;
+      n_sessions;
+      budget;
+      placement;
+      ensure_coverage = false;
+    }
+  in
+  let sc = Scenario_gen.generate ~rng:(Scenario_gen.scenario_rng ~seed 0) cfg in
+  (sc, Scenario.to_problem sc, Scenario.to_problem_sparse sc)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed: flat kernel = boxed kernel                             *)
+(* ------------------------------------------------------------------ *)
+
+let kernels_agree ~scheduler ~objective seed =
+  let _, pd, ps = case ~seed () in
+  List.iter
+    (fun p ->
+      let a = Distributed.run ~max_rounds:300 ~kernel:`Flat ~scheduler ~objective p in
+      let b =
+        Distributed.run ~max_rounds:300 ~kernel:`Boxed ~scheduler ~objective p
+      in
+      if not (Association.equal a.Distributed.assoc b.Distributed.assoc) then
+        Alcotest.fail "associations differ";
+      Alcotest.(check int) "rounds" a.Distributed.rounds b.Distributed.rounds;
+      Alcotest.(check int) "moves" a.Distributed.moves b.Distributed.moves;
+      Alcotest.(check bool) "converged" a.Distributed.converged
+        b.Distributed.converged;
+      Alcotest.(check bool) "oscillated" a.Distributed.oscillated
+        b.Distributed.oscillated;
+      check_float_arrays "loads"
+        (Loads.ap_loads p a.Distributed.assoc)
+        (Loads.ap_loads p b.Distributed.assoc))
+    [ pd; ps ];
+  true
+
+let qcheck_kernels ~label ~scheduler ~objective =
+  QCheck.Test.make
+    ~name:(label ^ ": flat kernel = boxed kernel, full outcome")
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (kernels_agree ~scheduler ~objective)
+
+let qcheck_kernel_seq_total =
+  qcheck_kernels ~label:"Distributed Sequential (total-load)"
+    ~scheduler:Distributed.Sequential ~objective:Distributed.Min_total_load
+
+let qcheck_kernel_seq_vector =
+  qcheck_kernels ~label:"Distributed Sequential (load-vector)"
+    ~scheduler:Distributed.Sequential ~objective:Distributed.Min_load_vector
+
+let qcheck_kernel_sim =
+  qcheck_kernels ~label:"Distributed Simultaneous"
+    ~scheduler:Distributed.Simultaneous ~objective:Distributed.Min_total_load
+
+(* ------------------------------------------------------------------ *)
+(* Online: flat kernel = boxed kernel under churn deltas               *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive two Online networks (one per kernel) through the same random
+   delta script and check they stay in lockstep after every settle. *)
+let online_kernels_agree ~mode seed =
+  let _, _, ps = case ~seed () in
+  let n_aps, n_users = Problem.dims ps in
+  let mk kernel =
+    Distributed.Online.create ~kernel ~objective:Distributed.Min_load_vector ps
+  in
+  let na = mk `Flat and nb = mk `Boxed in
+  let rng = Random.State.make [| seed; 0x1f7a3d |] in
+  let present = Array.make n_users true in
+  let alive = Array.make n_aps true in
+  let rates = [| 0.; 6.; 12.; 24.; 54. |] in
+  let event () =
+    match Random.State.int rng 4 with
+    | 0 ->
+        let u = Random.State.int rng n_users in
+        if present.(u) then (
+          ignore (Distributed.Online.depart na ~user:u);
+          ignore (Distributed.Online.depart nb ~user:u);
+          present.(u) <- false)
+        else (
+          ignore (Distributed.Online.arrive na ~user:u);
+          ignore (Distributed.Online.arrive nb ~user:u);
+          present.(u) <- true)
+    | 1 ->
+        let a = Random.State.int rng n_aps in
+        if alive.(a) then (
+          ignore (Distributed.Online.fail_ap na ~ap:a);
+          ignore (Distributed.Online.fail_ap nb ~ap:a);
+          alive.(a) <- false)
+        else (
+          ignore (Distributed.Online.recover_ap na ~ap:a);
+          ignore (Distributed.Online.recover_ap nb ~ap:a);
+          alive.(a) <- true)
+    | _ -> (
+        (* perturb an existing link (sparse slots cannot grow) *)
+        let u = Random.State.int rng n_users in
+        match Problem.neighbor_aps ps u with
+        | [] -> ()
+        | aps ->
+            let a = List.nth aps (Random.State.int rng (List.length aps)) in
+            let r = rates.(Random.State.int rng (Array.length rates)) in
+            ignore (Distributed.Online.set_rate na ~user:u ~ap:a r);
+            ignore (Distributed.Online.set_rate nb ~user:u ~ap:a r))
+  in
+  for burst = 1 to 3 do
+    for _ = 1 to 8 do
+      event ()
+    done;
+    let sa = Distributed.Online.settle ~max_rounds:300 ~mode na in
+    let sb = Distributed.Online.settle ~max_rounds:300 ~mode nb in
+    if
+      not
+        (Association.equal
+           (Distributed.Online.assoc na)
+           (Distributed.Online.assoc nb))
+    then Alcotest.failf "burst %d: associations differ" burst;
+    Alcotest.(check int)
+      (Fmt.str "burst %d moves" burst)
+      sa.Distributed.Online.moves sb.Distributed.Online.moves;
+    Alcotest.(check int)
+      (Fmt.str "burst %d rounds" burst)
+      sa.Distributed.Online.rounds sb.Distributed.Online.rounds;
+    check_float_arrays
+      (Fmt.str "burst %d loads" burst)
+      (Array.copy (Distributed.Online.loads na))
+      (Array.copy (Distributed.Online.loads nb))
+  done;
+  true
+
+let qcheck_online_kernels_seq =
+  QCheck.Test.make
+    ~name:"Online deltas: flat kernel = boxed kernel (sequential settles)"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (online_kernels_agree ~mode:`Sequential)
+
+let qcheck_online_kernels_sim =
+  QCheck.Test.make
+    ~name:"Online deltas: flat kernel = boxed kernel (simultaneous settles)"
+    ~count:30
+    QCheck.(int_range 0 10_000)
+    (online_kernels_agree ~mode:`Simultaneous)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded centralized reductions                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_solutions label (a : Solution.t) (b : Solution.t) =
+  if not (Association.equal a.Solution.assoc b.Solution.assoc) then
+    Alcotest.failf "%s: associations differ" label;
+  Alcotest.(check int) (label ^ " satisfied") a.Solution.satisfied
+    b.Solution.satisfied;
+  check_float_arrays (label ^ " ap_loads") a.Solution.ap_loads
+    b.Solution.ap_loads;
+  if not (Float.equal a.Solution.max_load b.Solution.max_load) then
+    Alcotest.failf "%s: max loads differ" label
+
+let sharded_mnu_matches ~wide seed =
+  let _, pd, ps = case ~wide ~seed () in
+  List.iter
+    (fun p ->
+      check_solutions "sharded MNU" (Shard.solve_mnu p) (Mnu.run ~engine:`Lazy p))
+    [ pd; ps ];
+  true
+
+let sharded_bla_matches ~wide seed =
+  let _, pd, ps = case ~wide ~seed () in
+  List.iter
+    (fun p ->
+      match (Shard.solve_bla p, Bla.run ~engine:`Lazy p) with
+      | None, None -> ()
+      | Some a, Some b -> check_solutions "sharded BLA" a b
+      | Some _, None -> Alcotest.fail "sharded feasible, unsharded not"
+      | None, Some _ -> Alcotest.fail "unsharded feasible, sharded not")
+    [ pd; ps ];
+  true
+
+let qcheck_sharded_mnu =
+  QCheck.Test.make ~name:"sharded centralized MNU = unsharded lazy MNU"
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (sharded_mnu_matches ~wide:false)
+
+let qcheck_sharded_mnu_wide =
+  QCheck.Test.make
+    ~name:"sharded centralized MNU = unsharded lazy MNU (multi-shard)"
+    ~count:40
+    QCheck.(int_range 0 10_000)
+    (sharded_mnu_matches ~wide:true)
+
+let qcheck_sharded_bla =
+  QCheck.Test.make ~name:"sharded centralized BLA = unsharded lazy BLA"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (sharded_bla_matches ~wide:false)
+
+let qcheck_sharded_bla_wide =
+  QCheck.Test.make
+    ~name:"sharded centralized BLA = unsharded lazy BLA (multi-shard)"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (sharded_bla_matches ~wide:true)
+
+(* fig9a-size sharded centralized solves across pool domains. *)
+let test_sharded_centralized_fig9a_jobs () =
+  let sc =
+    Scenario_gen.generate
+      ~rng:(Scenario_gen.scenario_rng ~seed:2007 0)
+      Scenario_gen.paper_default
+  in
+  let ps = Scenario.to_problem_sparse sc in
+  let mnu = Mnu.run ~engine:`Lazy ps in
+  let bla = Bla.run ~engine:`Lazy ps in
+  List.iter
+    (fun jobs ->
+      Harness.Pool.with_pool ~jobs (fun pool ->
+          let fanout thunks = Harness.Pool.run pool thunks in
+          check_solutions
+            (Fmt.str "MNU jobs=%d" jobs)
+            (Shard.solve_mnu ~fanout ps)
+            mnu;
+          match (Shard.solve_bla ~fanout ps, bla) with
+          | Some a, Some b -> check_solutions (Fmt.str "BLA jobs=%d" jobs) a b
+          | None, None -> ()
+          | _ -> Alcotest.failf "BLA jobs=%d: feasibility differs" jobs))
+    [ 1; 2; 4 ]
+
+(* The city golden: sharded centralized MNU on 2000 APs x 40000 users,
+   equal at jobs 1 and 4 and pinned to the committed digest. *)
+let city_mnu_digest ~jobs ps pl =
+  let s =
+    Harness.Pool.with_pool ~jobs (fun pool ->
+        Shard.solve_mnu ~plan:pl ~fanout:(Harness.Pool.run pool) ps)
+  in
+  let buf = Buffer.create (1 lsl 18) in
+  Buffer.add_string buf
+    (Fmt.str "city mnu 2000x40000 shards=%d satisfied=%d max=%.17g@."
+       (List.length pl.Shard.shards)
+       s.Solution.satisfied s.Solution.max_load);
+  Array.iter (fun a -> Buffer.add_string buf (Fmt.str "%d," a)) s.Solution.assoc;
+  digest (Buffer.contents buf)
+
+let test_city_mnu_golden () =
+  let sc = Scenario_gen.city ~seed:2007 Scenario_gen.city_default in
+  let ps = Scenario.to_problem_sparse sc in
+  let pl =
+    Shard.plan_geometric ~ap_pos:sc.Scenario.ap_pos
+      ~interaction_radius:(2. *. Rate_table.range sc.Scenario.rate_table)
+      ps
+  in
+  let d1 = city_mnu_digest ~jobs:1 ps pl in
+  let d4 = city_mnu_digest ~jobs:4 ps pl in
+  Alcotest.(check string) "j1 = j4" d1 d4;
+  match read_golden "golden/city_mnu_shard.digest" with
+  | golden -> Alcotest.(check string) "matches committed golden" golden d1
+  | exception Sys_error _ ->
+      Alcotest.failf "golden/city_mnu_shard.digest missing; computed %s" d1
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      qcheck_kernel_seq_total;
+      qcheck_kernel_seq_vector;
+      qcheck_kernel_sim;
+      qcheck_online_kernels_seq;
+      qcheck_online_kernels_sim;
+      qcheck_sharded_mnu;
+      qcheck_sharded_mnu_wide;
+      qcheck_sharded_bla;
+      qcheck_sharded_bla_wide;
+    ]
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "flat"
+    [
+      ("differential", qcheck_cases);
+      ( "sharded-centralized",
+        [
+          tc "fig9a scale, jobs 1/2/4" test_sharded_centralized_fig9a_jobs;
+          tc "city MNU golden, j1 = j4" test_city_mnu_golden;
+        ] );
+    ]

@@ -311,11 +311,12 @@ let test_bench_json_roundtrip () =
       seed = 4242;
       entries =
         [
-          { Bench_json.name = "exp:fig9"; wall_s = 12.5; cpu_s = 40.25 };
+          { Bench_json.name = "exp:fig9"; wall_s = 12.5; cpu_s = Some 40.25 };
           {
-            Bench_json.name = "alg:bla-soft@200x400";
+            (* a bechamel-style row: no CPU sample, field omitted *)
+            Bench_json.name = "bechamel:algorithms/ssa";
             wall_s = 0.118;
-            cpu_s = 0.118;
+            cpu_s = None;
           };
         ];
     }
@@ -324,10 +325,14 @@ let test_bench_json_roundtrip () =
     {
       snap with
       Bench_json.label = "pre";
-      entries = [ { Bench_json.name = "exp:fig9"; wall_s = 25.0; cpu_s = 80.0 } ];
+      entries =
+        [ { Bench_json.name = "exp:fig9"; wall_s = 25.0; cpu_s = Some 80.0 } ];
     }
   in
   let doc = Bench_json.render ~baseline snap in
+  (* a row without a CPU sample must not serialize a fabricated 0. *)
+  Alcotest.(check bool) "no zero-filled cpu_s" false
+    (Astring.String.is_infix ~affix:"\"cpu_s\": 0.000000" doc);
   (match Bench_json.parse doc with
   | None -> Alcotest.fail "render output did not parse"
   | Some s ->
@@ -336,10 +341,15 @@ let test_bench_json_roundtrip () =
       Alcotest.(check bool) "quick" false s.Bench_json.quick;
       Alcotest.(check int) "seed" 4242 s.Bench_json.seed;
       Alcotest.(check int) "entries" 2 (List.length s.Bench_json.entries);
-      let e = List.hd s.Bench_json.entries in
-      Alcotest.(check string) "name" "exp:fig9" e.Bench_json.name;
-      Alcotest.(check (float 1e-9)) "wall_s" 12.5 e.Bench_json.wall_s;
-      Alcotest.(check (float 1e-9)) "cpu_s" 40.25 e.Bench_json.cpu_s);
+      (match s.Bench_json.entries with
+      | [ e; b ] ->
+          Alcotest.(check string) "name" "exp:fig9" e.Bench_json.name;
+          Alcotest.(check (float 1e-9)) "wall_s" 12.5 e.Bench_json.wall_s;
+          Alcotest.(check (option (float 1e-9))) "cpu_s" (Some 40.25)
+            e.Bench_json.cpu_s;
+          Alcotest.(check (option (float 1e-9))) "absent cpu_s" None
+            b.Bench_json.cpu_s
+      | _ -> Alcotest.fail "expected 2 entries"));
   match
     Bench_json.speedups ~baseline:baseline.Bench_json.entries ~current:snap
   with
@@ -348,6 +358,32 @@ let test_bench_json_roundtrip () =
       Alcotest.(check (float 1e-9)) "ratio" 2.0 ratio
   | rows ->
       Alcotest.fail (Fmt.str "expected 1 speedup row, got %d" (List.length rows))
+
+let test_bench_json_regressions () =
+  let e name wall = { Bench_json.name; wall_s = wall; cpu_s = None } in
+  let baseline = [ e "a" 1.0; e "b" 2.0; e "dead" 0.; e "gone" 1.0 ] in
+  let current = [ e "a" 1.4; e "b" 3.2; e "dead" 9.0; e "new" 9.0 ] in
+  (* "a" is within 1.5x; "b" is 1.6x over; zero-wall baselines and
+     one-sided entries never fire *)
+  (match Bench_json.regressions ~threshold:0.5 ~baseline ~current () with
+  | [ ("b", r) ] -> Alcotest.(check (float 1e-9)) "ratio" 1.6 r
+  | rows ->
+      Alcotest.fail (Fmt.str "expected only b, got %d rows" (List.length rows)));
+  (* tighter threshold flags both, worst first *)
+  (match Bench_json.regressions ~threshold:0.2 ~baseline ~current () with
+  | [ ("b", _); ("a", _) ] -> ()
+  | rows ->
+      Alcotest.fail
+        (Fmt.str "expected b then a, got %d rows" (List.length rows)));
+  (* a noise floor skips micro rows entirely: only "b" (baseline 2.0)
+     clears a 1.5 s floor *)
+  match Bench_json.regressions ~min_wall:1.5 ~threshold:0.2 ~baseline ~current ()
+  with
+  | [ ("b", _) ] -> ()
+  | rows ->
+      Alcotest.fail
+        (Fmt.str "expected only b above the floor, got %d rows"
+           (List.length rows))
 
 (* the acceptance criterion for tentpole (c): fanning the B* grid over a
    real pool changes nothing about the solution, at any pool size *)
@@ -387,6 +423,7 @@ let () =
       ( "bench",
         [
           tc "bench_json roundtrip" test_bench_json_roundtrip;
+          tc "bench_json regressions" test_bench_json_regressions;
           tc "BLA pool fanout identical" test_bla_pool_fanout_identical;
         ] );
       ( "reproducibility",

@@ -717,6 +717,77 @@ let prop_scg_bisect_agrees_with_exhaustive =
              List.exists (fun e -> same_scg_result b e) exh)
            bis)
 
+let same_scg_rounds (a : Scg.result) (b : Scg.result) =
+  List.length a.Scg.rounds = List.length b.Scg.rounds
+  && List.for_all2
+       (fun (ra : Mcg.result) (rb : Mcg.result) ->
+         ra.Mcg.raw_order = rb.Mcg.raw_order
+         && Bitset.equal ra.Mcg.covered rb.Mcg.covered)
+       a.Scg.rounds b.Scg.rounds
+
+(* The SCG session (cross-round bound persistence, DESIGN.md §4.12) must
+   reproduce the per-round rescanning engine exactly — raw orders
+   included — whether or not an arena backs its planes. *)
+let prop_scg_session_eq_eager =
+  QCheck.Test.make ~name:"SCG lazy session rounds = eager rounds" ~count:100
+    (QCheck.pair arb_grouped QCheck.bool)
+    (fun ((n, _, sets, _), hard) ->
+      QCheck.assume (sets <> []);
+      let sets = (List.init n Fun.id, 1.0, 0) :: sets in
+      let inst = mk_grouped ~n sets in
+      let mode = if hard then `Hard else `Soft in
+      let arena = Arena.create () in
+      let grid = Scg.default_grid ~n_guesses:4 inst in
+      List.for_all
+        (fun bstar ->
+          let eg = Scg.solve_for ~mode ~engine:`Eager inst ~bstar () in
+          let lz = Scg.solve_for ~mode ~engine:`Lazy ~arena inst ~bstar () in
+          let lz' = Scg.solve_for ~mode ~engine:`Lazy inst ~bstar () in
+          same_scg_result lz eg && same_scg_rounds lz eg
+          && same_scg_result lz' eg && same_scg_rounds lz' eg)
+        grid)
+
+(* An arena is pure scratch reuse: running every engine/mode with a
+   shared (repeatedly reused) arena must be bit-identical to running
+   without one. *)
+let prop_arena_never_changes_results =
+  QCheck.Test.make ~name:"arena-backed solves = fresh-allocation solves"
+    ~count:100 arb_grouped
+    (fun (n, _, sets, budget) ->
+      QCheck.assume (sets <> []);
+      let inst = mk_grouped ~n sets in
+      let budgets = Array.make (Cover_instance.n_groups inst) budget in
+      let arena = Arena.create () in
+      let same (a : Mcg.result) (b : Mcg.result) =
+        a.Mcg.raw_order = b.Mcg.raw_order
+        && List.length a.Mcg.kept = List.length b.Mcg.kept
+        && List.for_all2
+             (fun (s : Mcg.selection) (s' : Mcg.selection) ->
+               s.set = s'.set && Bitset.equal s.newly s'.newly)
+             a.Mcg.kept b.Mcg.kept
+        && Bitset.equal a.Mcg.covered b.Mcg.covered
+        && Array.for_all2 Float.equal a.Mcg.group_cost b.Mcg.group_cost
+      in
+      List.for_all
+        (fun engine ->
+          List.for_all
+            (fun mode ->
+              same
+                (Mcg.greedy ~mode ~engine ~arena inst ~budgets ())
+                (Mcg.greedy ~mode ~engine inst ~budgets ()))
+            [ `Soft; `Hard ])
+        [ `Classic; `Lazy; `Eager ]
+      &&
+      let a = Set_cover.greedy ~arena inst in
+      let b = Set_cover.greedy inst in
+      List.length a.Set_cover.chosen = List.length b.Set_cover.chosen
+      && List.for_all2
+           (fun (s : Set_cover.selection) (s' : Set_cover.selection) ->
+             s.set = s'.set && Bitset.equal s.newly s'.newly)
+           a.Set_cover.chosen b.Set_cover.chosen
+      && Bitset.equal a.Set_cover.covered b.Set_cover.covered
+      && Float.equal a.Set_cover.total_cost b.Set_cover.total_cost)
+
 (* ------------------------------------------------------------------ *)
 (* Subset sum / makespan                                              *)
 (* ------------------------------------------------------------------ *)
@@ -812,6 +883,8 @@ let qcheck_cases =
       prop_mcg_lazy_eq_eager;
       prop_scg_fanout_order_independent;
       prop_scg_bisect_agrees_with_exhaustive;
+      prop_scg_session_eq_eager;
+      prop_arena_never_changes_results;
       prop_subset_sum_dp_sound;
       prop_makespan_exact_le_lpt;
       prop_lpt_within_4_3;

@@ -1,0 +1,75 @@
+(* R6 fixture: arena scratch escaping its extent or crossing domains.
+   Parse-only — Arena stands in for Optkit.Arena, Pool for Harness.Pool. *)
+
+let bad_return_acquire n = Arena.with_arena (fun a -> Arena.floats a "scores" n)
+
+let bad_return_bound n =
+  Arena.with_arena (fun a ->
+      let ub = Arena.floats a "ub" n in
+      Array.fill ub 0 n 0.;
+      ub)
+
+let bad_return_pair n =
+  Arena.with_arena (fun a ->
+      let gains = Arena.ints a "gains" n in
+      (n, gains))
+
+let bad_return_some n =
+  Arena.with_arena (fun a ->
+      let touched = Arena.ints a "touched" n in
+      if n > 0 then Some touched else None)
+
+let bad_return_arena () = Arena.with_arena (fun a -> a)
+
+let ok_scalar_result n =
+  Arena.with_arena (fun a ->
+      let ub = Arena.floats a "ub" n in
+      Array.fill ub 0 n 1.;
+      ub.(0))
+
+let ok_copy_out n =
+  Arena.with_arena (fun a ->
+      let ub = Arena.floats a "ub" n in
+      Array.fill ub 0 n 1.;
+      Array.copy ub)
+
+let bad_shared_across_pool pool jobs n =
+  let scratch = Arena.create () in
+  Pool.run pool
+    (List.map
+       (fun j () ->
+         ignore (Arena.floats scratch "s" n);
+         j)
+       jobs)
+
+let bad_arena_across_fanout run_parallel p =
+  let scratch = Arena.create () in
+  Bla.run
+    ~fanout:(fun fs ->
+      run_parallel
+        (List.map
+           (fun f () ->
+             ignore (Arena.ints scratch "x" 4);
+             f ())
+           fs))
+    p
+
+let bad_buffer_across_pool pool jobs =
+  let scratch = Arena.create () in
+  let plane = Arena.floats scratch "plane" 8 in
+  Pool.run pool (List.map (fun j () -> plane.(0) <- float_of_int j) jobs)
+
+let ok_task_local_arena pool jobs n =
+  Pool.run pool
+    (List.map
+       (fun j () ->
+         let scratch = Arena.create () in
+         ignore (Arena.floats scratch "s" n);
+         j)
+       jobs)
+
+let ok_used_before_dispatch pool jobs =
+  let scratch = Arena.create () in
+  let warm = Arena.floats scratch "warm" 8 in
+  warm.(0) <- 1.;
+  Pool.run pool (List.map (fun j () -> j) jobs)

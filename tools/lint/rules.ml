@@ -448,6 +448,270 @@ let lib_hygiene =
   }
 
 (* ------------------------------------------------------------------ *)
+(* R6: arena-escape                                                    *)
+(* ------------------------------------------------------------------ *)
 
-let all = [ no_ambient_rng; float_eq; unordered_fold; pool_capture; lib_hygiene ]
+(* Is [e] a buffer acquisition — an application of [Arena.floats] or
+   [Arena.ints] (under any module prefix)? *)
+let is_arena_acquire (e : expression) =
+  match (strip_constraint e).pexp_desc with
+  | Pexp_apply (f, _) -> (
+      match ident_path f with
+      | Some p -> (
+          match List.rev p with
+          | fn :: "Arena" :: _ -> fn = "floats" || fn = "ints"
+          | _ -> false)
+      | None -> false)
+  | _ -> false
+
+(* The result positions of [e]: follow let/sequence/open/if/match down
+   to the expressions whose value the whole body evaluates to. *)
+let rec result_exprs (e : expression) acc =
+  match e.pexp_desc with
+  | Pexp_let (_, _, b)
+  | Pexp_sequence (_, b)
+  | Pexp_open (_, b)
+  | Pexp_letmodule (_, _, b)
+  | Pexp_constraint (b, _) ->
+      result_exprs b acc
+  | Pexp_ifthenelse (_, th, el) -> (
+      let acc = result_exprs th acc in
+      match el with Some e -> result_exprs e acc | None -> acc)
+  | Pexp_match (_, cases) | Pexp_try (_, cases) ->
+      List.fold_left (fun acc (c : case) -> result_exprs c.pc_rhs acc) acc cases
+  | _ -> e :: acc
+
+(* Arena storage is scratch: [with_arena] reuses it for the next caller,
+   so nothing acquired from the arena (nor the arena itself) may outlive
+   the call, and an arena must never be shared across [Harness.Pool]
+   worker domains (it is not synchronised). Two syntactic checks:
+
+   - the result positions of a function literal given to
+     [Arena.with_arena] must not be the arena parameter, a name bound to
+     [Arena.floats]/[Arena.ints] inside the body, a direct acquisition,
+     or a tuple/constructor/record immediately wrapping one of those;
+   - closures located in [Pool.run]/[Pool.map] arguments or in any
+     [~fanout] argument must not mention an enclosing name bound to
+     [Arena.create]/[Arena.floats]/[Arena.ints] (or a [with_arena]
+     parameter). Names re-bound inside the shipped expression are
+     exempt: a task-local arena created inside the closure is exactly
+     the recommended pattern. *)
+let arena_escape =
+  let check ctx str =
+    let diags = ref [] in
+    let escape_msg = function
+      | Some (kind, name) ->
+          Printf.sprintf
+            "the %s '%s' escapes in with_arena's result: arena storage is \
+             reused scratch that the next arena user overwrites; copy into a \
+             fresh array before returning"
+            kind name
+      | None ->
+          "an arena buffer acquired here escapes in with_arena's result: \
+           arena storage is reused scratch that the next arena user \
+           overwrites; copy into a fresh array before returning"
+    in
+    let scan_with_arena_body fnlit =
+      (* the function literal's parameters are the arena itself *)
+      let rec unwrap (e : expression) params =
+        match e.pexp_desc with
+        | Pexp_fun (_, _, pat, body) ->
+            let params =
+              match pat.ppat_desc with
+              | Ppat_var { txt; _ } -> txt :: params
+              | _ -> params
+            in
+            unwrap body params
+        | _ -> (e, params)
+      in
+      let body, params = unwrap fnlit [] in
+      let acquired = Hashtbl.create 4 in
+      List.iter (fun p -> Hashtbl.replace acquired p "arena") params;
+      let vb it (vb : value_binding) =
+        (match vb.pvb_pat.ppat_desc with
+        | Ppat_var { txt = name; _ } when is_arena_acquire vb.pvb_expr ->
+            Hashtbl.replace acquired name "arena buffer"
+        | _ -> ());
+        Ast_iterator.default_iterator.value_binding it vb
+      in
+      let collect = { Ast_iterator.default_iterator with value_binding = vb } in
+      collect.expr collect body;
+      let leaf (t : expression) =
+        let t = strip_constraint t in
+        if is_arena_acquire t then Some (t.pexp_loc, None)
+        else
+          match t.pexp_desc with
+          | Pexp_ident { txt = Longident.Lident n; loc } -> (
+              match Hashtbl.find_opt acquired n with
+              | Some kind -> Some (loc, Some (kind, n))
+              | None -> None)
+          | _ -> None
+      in
+      let flag t =
+        match leaf t with
+        | Some (loc, who) ->
+            diags :=
+              diag ctx ~rule:"arena-escape" ~loc "%s" (escape_msg who) :: !diags
+        | None -> ()
+      in
+      let check_result (t : expression) =
+        let t = strip_constraint t in
+        match leaf t with
+        | Some _ -> flag t
+        | None -> (
+            (* one wrapping layer: (x, buf), Some buf, { f = buf } *)
+            match t.pexp_desc with
+            | Pexp_tuple es -> List.iter flag es
+            | Pexp_construct (_, Some arg) -> (
+                match (strip_constraint arg).pexp_desc with
+                | Pexp_tuple es -> List.iter flag es
+                | _ -> flag arg)
+            | Pexp_record (fields, _) -> List.iter (fun (_, e) -> flag e) fields
+            | _ -> ())
+      in
+      List.iter check_result (result_exprs body [])
+    in
+    (* Per structure item: arena bindings captured by pooled closures. *)
+    let scan_item (si : structure_item) =
+      let arenas = Hashtbl.create 4 in
+      let vb it (vb : value_binding) =
+        (match (vb.pvb_pat.ppat_desc, strip_constraint vb.pvb_expr) with
+        | Ppat_var { txt = name; _ }, rhs -> (
+            match rhs.pexp_desc with
+            | Pexp_apply (f, _) -> (
+                match ident_path f with
+                | Some p -> (
+                    match List.rev p with
+                    | "create" :: "Arena" :: _ ->
+                        Hashtbl.replace arenas name "arena"
+                    | fn :: "Arena" :: _ when fn = "floats" || fn = "ints" ->
+                        Hashtbl.replace arenas name "arena buffer"
+                    | _ -> ())
+                | None -> ())
+            | _ -> ())
+        | _ -> ());
+        Ast_iterator.default_iterator.value_binding it vb
+      in
+      let cexpr it (e : expression) =
+        (match e.pexp_desc with
+        | Pexp_apply (f, args) -> (
+            match ident_path f with
+            | Some p
+              when (match List.rev p with
+                   | "with_arena" :: "Arena" :: _ -> true
+                   | _ -> false) ->
+                List.iter
+                  (fun (_, a) ->
+                    match a.pexp_desc with
+                    | Pexp_fun (_, _, { ppat_desc = Ppat_var { txt; _ }; _ }, _)
+                      ->
+                        Hashtbl.replace arenas txt "arena"
+                    | _ -> ())
+                  args
+            | _ -> ())
+        | _ -> ());
+        Ast_iterator.default_iterator.expr it e
+      in
+      let collect =
+        { Ast_iterator.default_iterator with value_binding = vb; expr = cexpr }
+      in
+      collect.structure_item collect si;
+      if Hashtbl.length arenas > 0 then begin
+        let scan_pool_arg ~what arg =
+          (* names re-bound inside the shipped expression shadow the
+             outer arena (task-local arenas): exempt *)
+          let locals = Hashtbl.create 4 in
+          let pat it (p : pattern) =
+            (match p.ppat_desc with
+            | Ppat_var { txt; _ } when Hashtbl.mem arenas txt ->
+                Hashtbl.replace locals txt ()
+            | _ -> ());
+            Ast_iterator.default_iterator.pat it p
+          in
+          let locals_it = { Ast_iterator.default_iterator with pat } in
+          locals_it.expr locals_it arg;
+          let depth = ref 0 in
+          let expr it (e : expression) =
+            match e.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ ->
+                incr depth;
+                Ast_iterator.default_iterator.expr it e;
+                decr depth
+            | Pexp_ident { txt = Longident.Lident n; loc }
+              when !depth > 0 && Hashtbl.mem arenas n
+                   && not (Hashtbl.mem locals n) ->
+                diags :=
+                  diag ctx ~rule:"arena-escape" ~loc
+                    "closure passed to %s captures the enclosing %s '%s': an \
+                     arena is single-domain scratch and must never be shared \
+                     across Harness.Pool domains; create a task-local arena \
+                     inside the closure"
+                    what (Hashtbl.find arenas n) n
+                  :: !diags
+            | _ -> Ast_iterator.default_iterator.expr it e
+          in
+          let it = { Ast_iterator.default_iterator with expr } in
+          it.expr it arg
+        in
+        let expr it (e : expression) =
+          (match e.pexp_desc with
+          | Pexp_apply (f, args) -> (
+              (match ident_path f with
+              | Some p -> (
+                  match List.rev p with
+                  | fn :: "Pool" :: _ when fn = "run" || fn = "map" ->
+                      List.iter
+                        (fun (_, a) -> scan_pool_arg ~what:"Pool.run/map" a)
+                        args
+                  | _ -> ())
+              | None -> ());
+              (* any ~fanout is assumed to wrap Pool.run: its closures
+                 ship to worker domains *)
+              List.iter
+                (fun ((lbl : Asttypes.arg_label), a) ->
+                  match lbl with
+                  | Labelled "fanout" | Optional "fanout" ->
+                      scan_pool_arg ~what:"a ~fanout" a
+                  | _ -> ())
+                args)
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e
+        in
+        let it = { Ast_iterator.default_iterator with expr } in
+        it.structure_item it si
+      end
+    in
+    let expr it (e : expression) =
+      (match e.pexp_desc with
+      | Pexp_apply (f, args) -> (
+          match ident_path f with
+          | Some p
+            when (match List.rev p with
+                 | "with_arena" :: "Arena" :: _ -> true
+                 | _ -> false) ->
+              List.iter
+                (fun (_, a) -> if is_function_literal a then scan_with_arena_body a)
+                args
+          | _ -> ())
+      | _ -> ());
+      Ast_iterator.default_iterator.expr it e
+    in
+    let it = { Ast_iterator.default_iterator with expr } in
+    it.structure it str;
+    List.iter scan_item str;
+    !diags
+  in
+  {
+    id = "arena-escape";
+    doc =
+      "arena buffers must not escape the with_arena extent or be captured by \
+       closures shipped to Pool.run or a ~fanout";
+    check;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [ no_ambient_rng; float_eq; unordered_fold; pool_capture; arena_escape;
+    lib_hygiene ]
 let find id = List.find_opt (fun r -> r.id = id) all

@@ -30,14 +30,14 @@ let rendered rel =
 let fixtures =
   [
     "r1_ambient_rng.ml"; "r2_float_eq.ml"; "r3_unordered_fold.ml";
-    "r4_pool_capture.ml"; "lib/r5_hygiene.ml"; "clean.ml";
+    "r4_pool_capture.ml"; "lib/r5_hygiene.ml"; "r6_arena_escape.ml"; "clean.ml";
   ]
 
 let test_golden rel () =
   let expected = read (Filename.concat fixture_dir (Filename.remove_extension rel ^ ".expected")) in
   Alcotest.(check string) (rel ^ " diagnostics") expected (rendered rel)
 
-(* The acceptance bar: each of R1..R5 has a fixture that triggers it. *)
+(* The acceptance bar: each of R1..R6 has a fixture that triggers it. *)
 let test_every_rule_fires () =
   let fired =
     List.concat_map lint fixtures
