@@ -348,6 +348,99 @@ let city_timings ~quick () =
                    p))))
     (List.sort_uniq compare [ 1; Harness.Pool.default_jobs () ])
 
+(* Serving-layer rows (PR 9): a generated churn script is expanded
+   through the event adapter and streamed frame-by-frame through an
+   in-memory serve Server (codec + batcher + Online settles, replay log
+   accumulating as it would live). "serve:sustained-<n>ev@<scale>" is
+   the wall time to ingest the whole stream (throughput printed as
+   events/sec); "serve:p99-decision@<scale>" the 99th-percentile
+   latency of the inputs that closed a batch — parse, settle, delta
+   emission and logging included. The event count is fixed per scale so
+   a --quick CI run stays comparable with the committed full snapshot. *)
+let serve_timings ~quick () =
+  let module S = Mcast_serve in
+  let scales = if quick then [ (100, 200) ] else [ (100, 200); (200, 400) ] in
+  let n_events = 5000 in
+  List.iter
+    (fun (n_aps, n_users) ->
+      let p =
+        List.hd
+          (Wlan_model.Scenario_gen.problems ~seed:99 ~n:1
+             { Wlan_model.Scenario_gen.paper_default with n_aps; n_users })
+      in
+      let rng = Random.State.make [| 99; 0x5e17e |] in
+      let script =
+        Wlan_model.Churn_script.random ~rng ~n_aps ~n_users
+          {
+            Wlan_model.Churn_script.default_gen with
+            n_events;
+            duration = 1000.;
+          }
+      in
+      let inputs =
+        match S.Adapter.inputs_of_script script with
+        | Ok is -> is
+        | Error e -> failwith (S.Adapter.error_message e)
+      in
+      let payloads =
+        Array.of_list
+          (S.Protocol.render_input
+             (S.Protocol.Hello { version = S.Protocol.version })
+          :: List.map S.Protocol.render_input inputs
+          @ [ S.Protocol.render_input S.Protocol.Flush ])
+      in
+      let config =
+        {
+          S.Replay_log.objective = Mcast_core.Distributed.Min_total_load;
+          obj_label = "mnu";
+          mode = `Sequential;
+          max_rounds = 200;
+          queue_limit = 256;
+          tiers = Wlan_model.Rate_table.rates Wlan_model.Rate_table.default;
+          scenario_digest = None;
+        }
+      in
+      let server = S.Server.create ~config p in
+      let n = Array.length payloads in
+      let lat = Array.make n 0. in
+      let settled = Array.make n false in
+      let t0 = now_s () and c0 = Sys.time () in
+      for i = 0 to n - 1 do
+        let s = now_s () in
+        let outs = S.Server.handle_frame server payloads.(i) in
+        lat.(i) <- now_s () -. s;
+        settled.(i) <-
+          List.exists
+            (function S.Protocol.Settled _ -> true | _ -> false)
+            outs
+      done;
+      let wall = now_s () -. t0 and cpu = Sys.time () -. c0 in
+      let st = S.Server.stats server in
+      let decisions = ref [] in
+      Array.iteri
+        (fun i s -> if s then decisions := lat.(i) :: !decisions)
+        settled;
+      let decisions = Array.of_list !decisions in
+      Array.sort compare decisions;
+      let p99 =
+        if Array.length decisions = 0 then 0.
+        else
+          decisions.(min
+                       (Array.length decisions - 1)
+                       (int_of_float
+                          (0.99 *. float_of_int (Array.length decisions))))
+      in
+      let sustained = Fmt.str "serve:sustained-%dev@%dx%d" n_events n_aps n_users in
+      Fmt.pr "%-44s %8.1f ms (%.0f events/s, %d batches, %d deltas)@."
+        sustained (wall *. 1e3)
+        (float_of_int st.S.Server.events /. wall)
+        st.S.Server.batches st.S.Server.emitted_deltas;
+      record_entry sustained ~wall ~cpu;
+      let p99_id = Fmt.str "serve:p99-decision@%dx%d" n_aps n_users in
+      Fmt.pr "%-44s %8.3f ms@." p99_id (p99 *. 1e3);
+      record_entry p99_id ~wall:p99)
+    scales
+
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -409,12 +502,13 @@ let bechamel_arg =
 let bench_json_arg =
   Arg.(
     value
-    & opt ~vopt:(Some "BENCH_PR8.json") (some string) None
+    & opt ~vopt:(Some "BENCH_PR9.json") (some string) None
     & info [ "bench-json" ] ~docv:"FILE"
         ~doc:
           "Write a performance snapshot (experiment wall times, \
-           per-algorithm solve times, bechamel estimates when --bechamel \
-           is also given) as JSON to $(docv) (default: BENCH_PR8.json).")
+           per-algorithm solve times, serve sustained/latency rows, \
+           bechamel estimates when --bechamel is also given) as JSON to \
+           $(docv) (default: BENCH_PR9.json).")
 
 let bench_baseline_arg =
   Arg.(
@@ -427,7 +521,7 @@ let bench_baseline_arg =
 
 let bench_label_arg =
   Arg.(
-    value & opt string "PR8"
+    value & opt string "PR9"
     & info [ "bench-label" ] ~docv:"LABEL"
         ~doc:"Label stored in the --bench-json snapshot.")
 
@@ -547,7 +641,8 @@ let main names scenarios small seed node_limit jobs quick csv bech bench_json
   end;
   if bench_json <> None || bench_compare <> None then begin
     algorithm_timings ~quick ();
-    city_timings ~quick ()
+    city_timings ~quick ();
+    serve_timings ~quick ()
   end;
   (* read the comparison snapshot before --bench-json possibly
      overwrites the same path *)

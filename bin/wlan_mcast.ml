@@ -705,6 +705,355 @@ let profile_cmd =
       const run $ verbose_term $ names $ scenarios $ seed $ jobs $ out
       $ scenario_file $ script_file $ no_spans)
 
+(* ---------------- serve / replay ---------------- *)
+
+(* The resident association-control daemon (DESIGN.md §4.13): framed
+   wlan-mcast-ev events in over stdin or a Unix socket, association
+   deltas and quiescence summaries out, every accepted event and
+   emitted decision appended to a deterministic replay log. The replay
+   subcommand re-ingests such a log and regenerates it byte-for-byte. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> In_channel.input_all ic)
+
+let scenario_digest_of sc =
+  Digest.to_hex (Digest.string (Scenario_io.to_string sc))
+
+let serve_config sc ~obj_label ~mode ~max_rounds ~queue_limit =
+  let objective =
+    try Mcast_serve.Replay_log.objective_of_label obj_label
+    with Invalid_argument _ ->
+      Fmt.epr "unknown objective %S (mnu, bla, mla)@." obj_label;
+      exit 1
+  in
+  let mode =
+    match mode with
+    | "sequential" -> `Sequential
+    | "simultaneous" -> `Simultaneous
+    | other ->
+        Fmt.epr "unknown mode %S (sequential, simultaneous)@." other;
+        exit 1
+  in
+  {
+    Mcast_serve.Replay_log.objective;
+    obj_label;
+    mode;
+    max_rounds;
+    queue_limit;
+    tiers =
+      List.sort
+        (fun a b -> Float.compare b a)
+        (Rate_table.rates sc.Scenario.rate_table);
+    scenario_digest = Some (scenario_digest_of sc);
+  }
+
+(* Drain the decoder through the server, framing replies via [emit]. *)
+let serve_drain server dec emit =
+  let module P = Mcast_serve.Protocol in
+  let rec go () =
+    if not (Mcast_serve.Server.closed server) then
+      match P.Decoder.next dec with
+      | None -> ()
+      | Some (P.Decoder.Frame payload) ->
+          emit (Mcast_serve.Server.handle_frame server payload);
+          go ()
+      | Some (P.Decoder.Corrupt (code, detail)) ->
+          emit [ P.Error { code; detail } ];
+          go ()
+  in
+  go ()
+
+let serve_over_channels server ic oc =
+  let module P = Mcast_serve.Protocol in
+  let dec = P.Decoder.create () in
+  let emit outs =
+    List.iter
+      (fun o -> output_string oc (P.frame (P.render_output o)))
+      outs;
+    flush oc
+  in
+  let buf = Bytes.create 4096 in
+  let rec loop () =
+    if not (Mcast_serve.Server.closed server) then begin
+      let n = input ic buf 0 (Bytes.length buf) in
+      if n = 0 then begin
+        (* end of stream: report a torn final frame, then quiesce *)
+        if not (P.Decoder.at_boundary dec) then
+          emit
+            [
+              P.Error
+                {
+                  code = P.Truncated;
+                  detail = "stream ended inside a frame";
+                };
+            ];
+        emit (Mcast_serve.Server.finish server)
+      end
+      else begin
+        P.Decoder.feed dec (Bytes.sub_string buf 0 n);
+        serve_drain server dec emit;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let serve_cmd =
+  let load, save = scenario_io_terms in
+  let script_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "script" ] ~docv:"FILE"
+          ~doc:"Serve a canned workload: expand this churn script through \
+                the event adapter and feed it to the daemon instead of \
+                reading stdin.")
+  in
+  let save_events =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-events" ] ~docv:"FILE"
+          ~doc:"With --script: write the framed event stream the daemon \
+                consumed to FILE (a client could replay it verbatim).")
+  in
+  let log_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:"Write the deterministic replay log to FILE (see the \
+                replay subcommand).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at PATH, serve exactly one \
+                connection, then exit (default: stdin/stdout).")
+  in
+  let objective =
+    Arg.(
+      value & opt string "mnu"
+      & info [ "objective"; "o" ] ~doc:"Algorithm variant: mnu, bla or mla.")
+  in
+  let mode =
+    Arg.(
+      value & opt string "sequential"
+      & info [ "mode" ] ~doc:"Settle discipline: sequential or simultaneous.")
+  in
+  let max_rounds =
+    Arg.(
+      value & opt int 200
+      & info [ "max-rounds" ] ~doc:"Decision-round cap per settle.")
+  in
+  let queue_limit =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-limit" ]
+          ~doc:"Backpressure bound: a batch holding this many unsettled \
+                events is settled immediately (flagged forced).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Domains computing the snapshot baselines in parallel. The \
+             serving loop is sequential and baseline results merge in \
+             submission order, so replies and the replay log are \
+             byte-identical for every value of $(docv).")
+  in
+  let run () net load save script_file save_events log_file socket objective
+      mode max_rounds queue_limit jobs =
+    let sc =
+      match load with
+      | Some path -> Scenario_io.of_file path
+      | None -> scenario_of net
+    in
+    Option.iter (fun path -> Scenario_io.to_file path sc) save;
+    let p = Scenario.to_problem sc in
+    let config =
+      serve_config sc ~obj_label:objective ~mode ~max_rounds ~queue_limit
+    in
+    Harness.Pool.with_pool ~jobs:(Int.max 1 jobs) @@ fun pool ->
+    let server =
+      Mcast_serve.Server.create ~fanout:(Harness.Pool.run pool) ~config p
+    in
+    (match script_file with
+    | Some f ->
+        let script = Scenario_io.churn_of_file f in
+        let frames =
+          match Mcast_serve.Adapter.frames_of_script script with
+          | Ok s -> s
+          | Error e ->
+              Fmt.epr "%s@." (Mcast_serve.Adapter.error_message e);
+              exit 1
+        in
+        Option.iter (fun path -> write_file path frames) save_events;
+        let module P = Mcast_serve.Protocol in
+        let dec = P.Decoder.create () in
+        let emit outs =
+          List.iter
+            (fun o -> output_string stdout (P.frame (P.render_output o)))
+            outs
+        in
+        P.Decoder.feed dec frames;
+        serve_drain server dec emit;
+        emit (Mcast_serve.Server.finish server);
+        flush stdout
+    | None -> (
+        match socket with
+        | None -> serve_over_channels server stdin stdout
+        | Some path ->
+            (try Unix.unlink path with Unix.Unix_error _ -> ());
+            let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Fun.protect
+              ~finally:(fun () ->
+                Unix.close fd;
+                try Unix.unlink path with Unix.Unix_error _ -> ())
+              (fun () ->
+                Unix.bind fd (Unix.ADDR_UNIX path);
+                Unix.listen fd 1;
+                let cfd, _ = Unix.accept fd in
+                let ic = Unix.in_channel_of_descr cfd in
+                let oc = Unix.out_channel_of_descr cfd in
+                Fun.protect
+                  ~finally:(fun () -> try close_out oc with Sys_error _ -> ())
+                  (fun () -> serve_over_channels server ic oc))));
+    Option.iter
+      (fun path -> write_file path (Mcast_serve.Server.log_contents server))
+      log_file;
+    let st = Mcast_serve.Server.stats server in
+    Fmt.epr
+      "serve: %d events in %d batches (%d forced), %d deltas out, queue \
+       peak %d, %d refused; final state %s@."
+      st.Mcast_serve.Server.events st.batches st.forced_settles
+      st.emitted_deltas st.queue_peak st.errors
+      (Mcast_serve.Server.state_digest server)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident association-control daemon: framed \
+          wlan-mcast-ev events in, association deltas out, with atomic \
+          same-timestamp batching, bounded-queue backpressure and a \
+          deterministic replay log")
+    Term.(
+      const run $ verbose_term $ net_term $ load $ save $ script_file
+      $ save_events $ log_file $ socket $ objective $ mode $ max_rounds
+      $ queue_limit $ jobs)
+
+let replay_cmd =
+  let scenario =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"FILE"
+          ~doc:"The scenario the logged session served (digest-checked \
+                against the log header).")
+  in
+  let log_file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE" ~doc:"The replay log to re-ingest.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the regenerated log to FILE.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Verify bit-identity: the input log must be a prefix of \
+                the regenerated one (byte-equal when it is complete); \
+                exit 1 on divergence.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Domains for the snapshot baselines, as in serve — the \
+                regenerated log is byte-identical for every value.")
+  in
+  let run () scenario log_file out check jobs =
+    let text = read_file log_file in
+    let header, entries =
+      try Mcast_serve.Replay_log.parse text
+      with Mcast_serve.Replay_log.Parse_error msg ->
+        Fmt.epr "corrupt replay log: %s@." msg;
+        exit 2
+    in
+    let sc = Scenario_io.of_file scenario in
+    (match header.Mcast_serve.Replay_log.scenario_digest with
+    | Some d when d <> scenario_digest_of sc ->
+        Fmt.epr
+          "scenario digest mismatch: the log was recorded against a \
+           different scenario@.";
+        exit 2
+    | _ -> ());
+    let p = Scenario.to_problem sc in
+    let events = Mcast_serve.Replay_log.events entries in
+    Harness.Pool.with_pool ~jobs:(Int.max 1 jobs) @@ fun pool ->
+    let server =
+      Mcast_serve.Server.replay
+        ~fanout:(Harness.Pool.run pool)
+        ~config:header ~events p
+    in
+    let regen = Mcast_serve.Server.log_contents server in
+    Option.iter (fun path -> write_file path regen) out;
+    let digest = Mcast_serve.Server.state_digest server in
+    if check then begin
+      (* a crash can tear the final line: prefix identity is judged on
+         the complete-line portion, exactly what parse replayed *)
+      let complete =
+        match String.rindex_opt text '\n' with
+        | Some i -> String.sub text 0 (i + 1)
+        | None -> ""
+      in
+      (* [complete] and [regen] are both prefixes of the uninterrupted
+         log: [regen] falls short when the crash tore the log inside a
+         settle's out-block whose triggering event was never written
+         (the pending batch re-derives those lines once the trigger
+         arrives). Divergence means the shorter is not a prefix of the
+         longer. *)
+      let n = min (String.length complete) (String.length regen) in
+      if String.sub regen 0 n = String.sub complete 0 n then
+        if
+          String.length regen = String.length text
+          && String.length complete = String.length text
+        then
+          Fmt.pr "replay OK: exact (%d bytes), %d events, state %s@."
+            n (List.length events) digest
+        else
+          Fmt.pr
+            "replay OK: recovered truncated log (%d bytes in, %d \
+             regenerated), %d events, state %s@."
+            (String.length text) (String.length regen) (List.length events)
+            digest
+      else begin
+        Fmt.epr "replay MISMATCH: regenerated log diverges from the input@.";
+        exit 1
+      end
+    end
+    else Fmt.pr "replayed %d events, state %s@." (List.length events) digest
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-ingest a serve replay log against its scenario, regenerating \
+          the decision log and final state bit-for-bit (--check verifies)")
+    Term.(const run $ verbose_term $ scenario $ log_file $ out $ check $ jobs)
+
 (* ---------------- example ---------------- *)
 
 let example_cmd =
@@ -742,6 +1091,8 @@ let () =
             analyze_cmd;
             figures_cmd;
             churn_cmd;
+            serve_cmd;
+            replay_cmd;
             profile_cmd;
             example_cmd;
           ]))

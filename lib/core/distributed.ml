@@ -770,6 +770,10 @@ module Online = struct
     rounds : int;  (** scan rounds that evaluated at least one user *)
     moves : int;  (** (re)associations applied *)
     reassociated : int;  (** distinct users whose serving AP changed *)
+    changed : (int * int * int) list;
+        (** the settle's net association deltas, ascending user:
+            [(user, old_ap, new_ap)] with [Association.none] = unserved;
+            [reassociated = List.length changed] *)
     converged : bool;
     oscillated : bool;  (** a seen state recurred ([`Simultaneous] only) *)
   }
@@ -841,14 +845,16 @@ module Online = struct
         done);
     Wlan_obs.Counters.add c_settle_rounds !rounds;
     Wlan_obs.Counters.add c_settle_moves !moves;
-    let reassociated = ref 0 in
-    Array.iteri
-      (fun u a -> if a <> before.(u) then incr reassociated)
-      t.assoc;
+    let changed = ref [] in
+    for u = n_users - 1 downto 0 do
+      if t.assoc.(u) <> before.(u) then
+        changed := (u, before.(u), t.assoc.(u)) :: !changed
+    done;
     {
       rounds = !rounds;
       moves = !moves;
-      reassociated = !reassociated;
+      reassociated = List.length !changed;
+      changed = !changed;
       converged = !converged;
       oscillated = !oscillated;
     }

@@ -136,6 +136,11 @@ module Online : sig
     rounds : int;  (** scan rounds that evaluated at least one user *)
     moves : int;  (** (re)associations applied *)
     reassociated : int;  (** distinct users whose serving AP changed *)
+    changed : (int * int * int) list;
+        (** the settle's net association deltas, ascending user:
+            [(user, old_ap, new_ap)] with [Association.none] = unserved —
+            what a serving layer broadcasts to clients.
+            [reassociated = List.length changed] *)
     converged : bool;
     oscillated : bool;  (** a seen state recurred ([`Simultaneous] only) *)
   }

@@ -1,0 +1,56 @@
+(** Churn-script → serve-event expansion (see the interface). *)
+
+open Wlan_model
+
+type error = Non_monotone of { index : int; prev : float; time : float }
+
+let error_message = function
+  | Non_monotone { index; prev; time } ->
+      Printf.sprintf
+        "event %d at t=%.17g precedes t=%.17g: serve events must be \
+         nondecreasing in time (Churn_script.make sorts; raw event lists \
+         are taken as-is and refused when out of order)"
+        index time prev
+
+let expand_event time = function
+  | Churn_script.Join { user } ->
+      [ Protocol.Event { time; event = Arrive { user } } ]
+  | Churn_script.Leave { user } ->
+      [ Protocol.Event { time; event = Depart { user } } ]
+  | Churn_script.Ap_fail { ap } ->
+      [ Protocol.Event { time; event = Ap_fail { ap } } ]
+  | Churn_script.Ap_recover { ap } ->
+      [ Protocol.Event { time; event = Ap_recover { ap } } ]
+  | Churn_script.Drift { user; steps } ->
+      [ Protocol.Event { time; event = Drift { user; steps } } ]
+  | Churn_script.Burst { users } ->
+      List.map
+        (fun user -> Protocol.Event { time; event = Protocol.Arrive { user } })
+        users
+
+let inputs_of_events timed =
+  let rec go acc index prev = function
+    | [] -> Ok (List.concat (List.rev acc))
+    | { Churn_script.time; event } :: rest ->
+        if time < prev then Error (Non_monotone { index; prev; time })
+        else go (expand_event time event :: acc) (index + 1) time rest
+  in
+  go [] 0 0. timed
+
+let inputs_of_script script =
+  inputs_of_events (Churn_script.events script)
+
+let frames_of_script ?(trailer = true) script =
+  match inputs_of_script script with
+  | Error e -> Error e
+  | Ok inputs ->
+      let buf = Buffer.create 4096 in
+      let add i = Protocol.frame_into buf (Protocol.render_input i) in
+      add (Protocol.Hello { version = Protocol.version });
+      List.iter add inputs;
+      if trailer then begin
+        add Protocol.Flush;
+        add Protocol.Snapshot;
+        add Protocol.Bye
+      end;
+      Ok (Buffer.contents buf)

@@ -74,24 +74,9 @@ type outcome = {
   oscillated : bool;  (** any settle oscillated *)
 }
 
-(* Map a live rate to its position on the tier ladder (descending): the
-   nearest tier, ties toward the faster one — scenario-built instances
-   sit exactly on a tier, hand-written ones snap to the closest. *)
-let drifted_rate ~tiers rate steps =
-  let arr = Array.of_list tiers in
-  let n = Array.length arr in
-  if n = 0 || rate <= 0. then rate
-  else begin
-    let best = ref 0 in
-    for i = 1 to n - 1 do
-      if Float.abs (arr.(i) -. rate) < Float.abs (arr.(!best) -. rate) then
-        best := i
-    done;
-    (* steps > 0 = faster = smaller index; clamp at the top tier, fall
-       off the bottom to 0 (link lost) *)
-    let i = !best - steps in
-    if i < 0 then arr.(0) else if i >= n then 0. else arr.(i)
-  end
+(* The tier-ladder semantics of a [Drift] event lives in
+   [Churn_script.drifted_rate] (shared with the serve daemon). *)
+let drifted_rate = Churn_script.drifted_rate
 
 let run ?init ?(mode = `Sequential) ?(max_rounds = 200) ?trace
     ?(baseline = true) ?tiers ~objective ~script p =

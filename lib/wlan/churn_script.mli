@@ -44,6 +44,15 @@ val duration : t -> float
     order within a step — the unit the engine applies atomically. *)
 val steps : t -> (float * event list) list
 
+(** [drifted_rate ~tiers rate steps] shifts [rate] by [steps] positions
+    on the tier ladder ([tiers], sorted descending): [rate] snaps to the
+    nearest tier (ties toward the faster one), [steps > 0] moves toward
+    faster tiers (clamped at the top), and falling off the bottom loses
+    the link (rate [0.]). Zero and negative rates pass through. This is
+    the one semantics of a {!Drift} event, shared by the churn engine
+    and the serve daemon. *)
+val drifted_rate : tiers:float list -> float -> int -> float
+
 val pp_event : event Fmt.t
 val pp_timed : timed Fmt.t
 val pp : t Fmt.t

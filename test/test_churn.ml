@@ -474,6 +474,36 @@ let test_script_steps () =
         (Float.equal t1 1. && Float.equal t2 2.)
   | _ -> Alcotest.fail "wrong step grouping"
 
+(* The serve adapter consumes the same script type the (de)serializer
+   round-trips above — but over the wire event order is binding, so a
+   list that bypassed [Churn_script.make]'s sort must be refused with a
+   typed error, never silently reordered. *)
+let test_adapter_rejects_unsorted () =
+  (match
+     Mcast_serve.Adapter.inputs_of_events
+       [
+         { Churn_script.time = 2.; event = Join { user = 0 } };
+         { time = 1.; event = Leave { user = 1 } };
+       ]
+   with
+  | Error (Mcast_serve.Adapter.Non_monotone { index; prev; time }) ->
+      Alcotest.(check int) "offending index" 1 index;
+      Alcotest.(check bool) "prev/time" true
+        (Float.equal prev 2. && Float.equal time 1.)
+  | Ok _ -> Alcotest.fail "unsorted events must be refused");
+  (* the sorted form of the same events is accepted *)
+  match
+    Mcast_serve.Adapter.inputs_of_script
+      (Churn_script.make
+         [
+           { Churn_script.time = 2.; event = Join { user = 0 } };
+           { time = 1.; event = Leave { user = 1 } };
+         ])
+  with
+  | Ok [ _; _ ] -> ()
+  | Ok _ -> Alcotest.fail "wrong expansion arity"
+  | Error e -> Alcotest.fail (Mcast_serve.Adapter.error_message e)
+
 let test_script_validate () =
   let s =
     Churn_script.make
@@ -525,6 +555,8 @@ let () =
           Alcotest.test_case "malformed inputs rejected" `Quick
             test_script_rejects;
           Alcotest.test_case "step grouping" `Quick test_script_steps;
+          Alcotest.test_case "serve adapter refuses unsorted events" `Quick
+            test_adapter_rejects_unsorted;
           Alcotest.test_case "validate ranges" `Quick test_script_validate;
         ] );
     ]
