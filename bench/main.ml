@@ -18,7 +18,7 @@ let known =
     "ablate-bstar"; "ablate-sched"; "ablate-bla-mode"; "ablate-mla-alg";
     "ext-popularity";
     "ext-interference"; "ext-dual"; "ext-loss"; "ext-mobility"; "ext-power";
-    "ext-standards"; "ext-churn";
+    "ext-standards"; "ext-churn"; "ablate-phy";
   ]
 
 (* Wall-clock source: CLOCK_MONOTONIC (via bechamel's stub), immune to
@@ -441,6 +441,57 @@ let serve_timings ~quick () =
       record_entry p99_id ~wall:p99)
     scales
 
+(* PHY-model rows (PR 10): the same paper-scale deployment compiled
+   under each pluggable link-rate model — "phy:compile-*" is the dense
+   compile (for a path-loss model that is per-link received power, SNR
+   and ladder walk on every AP-user pair; shadowed models also pay the
+   per-link split-RNG draw), "phy:sparse-*" the bucket-grid sparse
+   compile, and "phy:mla-*" one centralized MLA solve on the result. *)
+let phy_timings ~quick () =
+  let module W = Wlan_model in
+  let reps = if quick then 1 else 3 in
+  let models =
+    [
+      ("table1", None);
+      ("friis", Some (W.Rate_model.friis ()));
+      ("two-ray", Some (W.Rate_model.two_ray ()));
+      ( "log-distance",
+        Some
+          (W.Rate_model.log_distance
+             ~shadowing:{ W.Rate_model.sigma_db = 4.; seed = 7 }
+             ()) );
+    ]
+  in
+  let n_aps = 100 and n_users = 200 in
+  List.iter
+    (fun (name, rate_model) ->
+      let sc =
+        W.Scenario_gen.generate
+          ~rng:(W.Scenario_gen.scenario_rng ~seed:99 0)
+          { W.Scenario_gen.paper_default with n_aps; n_users; rate_model }
+      in
+      let time id f =
+        f () (* warm *);
+        let samples =
+          List.init reps (fun _ ->
+              let t0 = now_s () and c0 = Sys.time () in
+              f ();
+              (now_s () -. t0, Sys.time () -. c0))
+        in
+        let sorted = List.sort compare samples in
+        let wall, cpu = List.nth sorted (reps / 2) in
+        Fmt.pr "%-44s %8.1f ms@." id (wall *. 1e3);
+        record_entry id ~wall ~cpu
+      in
+      time (Fmt.str "phy:compile-%s@%dx%d" name n_aps n_users) (fun () ->
+          ignore (W.Scenario.to_problem sc));
+      time (Fmt.str "phy:sparse-%s@%dx%d" name n_aps n_users) (fun () ->
+          ignore (W.Scenario.to_problem_sparse sc));
+      let p = W.Scenario.to_problem sc in
+      time (Fmt.str "phy:mla-%s@%dx%d" name n_aps n_users) (fun () ->
+          ignore (Mcast_core.Mla.run p)))
+    models
+
 (* ------------------------------------------------------------------ *)
 (* CLI                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -625,8 +676,8 @@ let main names scenarios small seed node_limit jobs quick csv bech bench_json
         [
           "table1"; "fig9"; "fig10"; "fig11"; "fig12"; "headline";
           "ablate-rate"; "ablate-bstar"; "ablate-sched"; "ablate-bla-mode";
-          "ablate-mla-alg"; "ext-popularity"; "ext-interference"; "ext-dual";
-          "ext-loss"; "ext-mobility"; "ext-power"; "ext-standards";
+          "ablate-mla-alg"; "ablate-phy"; "ext-popularity"; "ext-interference";
+          "ext-dual"; "ext-loss"; "ext-mobility"; "ext-power"; "ext-standards";
         ]
     | ns -> ns
   in
@@ -642,7 +693,8 @@ let main names scenarios small seed node_limit jobs quick csv bech bench_json
   if bench_json <> None || bench_compare <> None then begin
     algorithm_timings ~quick ();
     city_timings ~quick ();
-    serve_timings ~quick ()
+    serve_timings ~quick ();
+    phy_timings ~quick ()
   end;
   (* read the comparison snapshot before --bench-json possibly
      overwrites the same path *)

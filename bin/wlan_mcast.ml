@@ -246,8 +246,9 @@ let analyze_cmd =
     let p = Scenario.to_problem sc in
     Fmt.pr "%a@.@.%a@.@." Scenario.pp sc Topology_stats.pp
       (Topology_stats.of_problem p);
-    (* channel plan feasibility under 12 and 3 channels *)
-    let cs = 2. *. Rate_table.range sc.Scenario.rate_table in
+    (* channel plan feasibility under 12 and 3 channels; interaction
+       reach is twice the model's radio range *)
+    let cs = 2. *. Scenario.range sc in
     let edges = Channels.conflict_edges ~range:cs sc.Scenario.ap_pos in
     List.iter
       (fun n_channels ->
@@ -295,7 +296,16 @@ let figures_cmd =
              --seed before dispatch, so output is bit-identical for every \
              value of $(docv).")
   in
-  let run () names scenarios seed jobs =
+  let phy_ablation =
+    Arg.(
+      value & flag
+      & info [ "phy-ablation" ]
+          ~doc:"Run the PHY-model ablation (alias for the $(b,ablate-phy) \
+                figure id): MNU/BLA/MLA/SSA quality and distributed \
+                convergence under Table 1 vs Friis vs two-ray vs \
+                log-distance link-rate models.")
+  in
+  let run () names phy_ablation scenarios seed jobs =
     let cfg =
       {
         Harness.Experiments.default_config with
@@ -304,7 +314,12 @@ let figures_cmd =
         jobs = Int.max 1 jobs;
       }
     in
-    let names = match names with [] -> ids | ns -> ns in
+    let names =
+      match (names, phy_ablation) with
+      | [], false -> ids
+      | ns, false -> ns
+      | ns, true -> ns @ [ "ablate-phy" ]
+    in
     List.iter
       (fun id ->
         match List.assoc_opt id Harness.Experiments.drivers with
@@ -321,7 +336,8 @@ let figures_cmd =
        ~doc:
          "Reproduce the paper's figures, fanning scenarios out over --jobs \
           domains with deterministic output")
-    Term.(const run $ verbose_term $ names $ scenarios $ seed $ jobs)
+    Term.(
+      const run $ verbose_term $ names $ phy_ablation $ scenarios $ seed $ jobs)
 
 (* ---------------- churn ---------------- *)
 
@@ -532,7 +548,13 @@ let churn_cmd =
           (List.map
              (fun (label, obj) () ->
                let o =
+                 (* the scenario's full model ladder, not the library's
+                    distinct-rates default: the CLI knows the deployment,
+                    so drift can reach rungs the random placement left
+                    unused — and it matches the serve daemon's config
+                    tiers exactly *)
                  Wlan_sim.Churn.run ~mode:mode_v ~max_rounds
+                   ~tiers:(Rate_model.tier_rates sc.Scenario.model)
                    ~baseline:(not no_baseline) ~objective:obj ~script p
                in
                {
@@ -743,10 +765,12 @@ let serve_config sc ~obj_label ~mode ~max_rounds ~queue_limit =
     mode;
     max_rounds;
     queue_limit;
-    tiers =
-      List.sort
-        (fun a b -> Float.compare b a)
-        (Rate_table.rates sc.Scenario.rate_table);
+    (* the scenario's model ladder, highest first — the same tiers the
+       churn CLI passes to [Churn.run], so a Drift event means the same
+       thing in the daemon and the simulator (for a Table model these
+       are [Rate_table.rates], byte-identical to the historical
+       sorted-rates derivation) *)
+    tiers = Rate_model.tier_rates sc.Scenario.model;
     scenario_digest = Some (scenario_digest_of sc);
   }
 

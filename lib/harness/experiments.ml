@@ -976,6 +976,73 @@ let ablate_sched ?(cfg = default_config) () =
       ];
   }
 
+(** {1 PHY-model ablation} — how sensitive are solution quality and
+    distributed convergence to the propagation model behind the
+    link-rate matrix? Same deployments (same split-RNG position
+    streams), four {!Rate_model} instances: the paper's Table 1 ladder,
+    Friis free space, two-ray ground and log-distance with seeded
+    shadowing. Coverage resampling runs under each model's own link
+    predicate, exactly as the compile does. *)
+
+let phy_models =
+  [
+    (0., "table1", None);
+    (1., "friis", Some (Rate_model.friis ()));
+    (2., "two-ray", Some (Rate_model.two_ray ()));
+    ( 3.,
+      "log-distance",
+      Some
+        (Rate_model.log_distance
+           ~shadowing:{ Rate_model.sigma_db = 4.; seed = 7 }
+           ()) );
+  ]
+
+let ablate_phy ?(cfg = default_config) () =
+  Pool.with_pool ~jobs:cfg.jobs @@ fun pool ->
+  let n_scen = Int.min cfg.scenarios 10 in
+  let point (x, _label, rate_model) =
+    let problems =
+      Pool.run pool
+      @@ List.init n_scen (fun i () ->
+          Scenario_gen.nth_problem ~seed:(cfg.seed + 23) ~index:i
+            {
+              Scenario_gen.paper_default with
+              n_aps = 100;
+              n_users = 200;
+              rate_model;
+            })
+    in
+    {
+      Series.x;
+      values =
+        eval_rows pool
+          ~algorithms:
+            [
+              ("MLA total load", fun p -> total_of (Mla.run p));
+              ("BLA max load", fun p -> max_of (Bla.run_exn ~mode:`Hard p));
+              ( "MNU users",
+                fun p -> sat_of (Mnu.run (Problem.with_budget p 0.05)) );
+              ("SSA total load", fun p -> total_of (Ssa.run p));
+              ( "MLA-dist rounds",
+                fun p ->
+                  float_of_int
+                    (Distributed.run ~scheduler:Distributed.Sequential
+                       ~objective:Distributed.Min_total_load p)
+                      .Distributed.rounds );
+            ]
+          problems;
+    }
+  in
+  {
+    Series.id = "ablate-phy";
+    title =
+      "PHY ablation: Table 1 (x=0) vs Friis (x=1) vs two-ray (x=2) vs \
+       log-distance + shadowing (x=3), 100 APs / 200 users";
+    x_label = "link-rate model";
+    y_label = "load / users / rounds";
+    points = List.map point phy_models;
+  }
+
 (** {1 Driver registry} — every figure driver by id, shared by the bench
     harness and the [wlan-mcast figures] subcommand so the two front ends
     cannot drift apart. *)
@@ -1005,4 +1072,5 @@ let drivers : (string * (?cfg:config -> unit -> Series.figure)) list =
     ("ext-power", ext_power);
     ("ext-standards", ext_standards);
     ("ext-churn", ext_churn);
+    ("ablate-phy", ablate_phy);
   ]

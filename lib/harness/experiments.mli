@@ -64,6 +64,12 @@ val ext_standards : ?cfg:config -> unit -> Series.figure
     {!Wlan_model.Churn_script}s through {!Wlan_sim.Churn}). *)
 val ext_churn : ?cfg:config -> unit -> Series.figure
 
+(** PHY-model ablation: MNU/BLA/MLA/SSA quality and distributed
+    convergence rounds under Table 1 vs Friis vs two-ray vs
+    log-distance (+ seeded shadowing) link-rate models, same split-RNG
+    deployment streams. *)
+val ablate_phy : ?cfg:config -> unit -> Series.figure
+
 (** {1 Registry} *)
 
 (** Every figure driver by id ("fig9a" .. "ext-standards"), shared by the

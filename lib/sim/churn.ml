@@ -94,7 +94,11 @@ let run ?init ?(mode = `Sequential) ?(max_rounds = 200) ?trace
                           positive)" r))
           ts;
         List.sort (fun a b -> Float.compare b a) ts
-    | None -> Rate_table.rates Rate_table.default
+    (* default to the ladder the instance actually uses — the same
+       derivation the serve daemon's config uses — rather than
+       hard-wiring 802.11a, which silently mis-stepped drift on
+       802.11b or power-scaled instances *)
+    | None -> Problem.distinct_rates p
   in
   let trace = match trace with Some t -> t | None -> Trace.create () in
   let net = Distributed.Online.create ?init ~objective p in

@@ -60,8 +60,10 @@ type outcome = {
       [`Simultaneous] reproduces Fig. 4-style oscillation under
       simultaneous moves.
     - [tiers] is the rate ladder drift moves along (descending; default
-      802.11a). Pass [Problem.distinct_rates p] for hand-written
-      instances whose rates are not 802.11a tiers.
+      [Problem.distinct_rates p] — the ladder the instance actually
+      uses, the same derivation the serve daemon's config defaults to).
+      Pass the scenario's full {!Wlan_model.Rate_model.tier_rates}
+      ladder when rungs unused by the instance must stay reachable.
     - [baseline] (default true) runs a fresh sequential static solve of
       the effective instance after every step for the overshoot
       metrics; disable to make long replays cheap.

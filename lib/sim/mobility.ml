@@ -46,7 +46,8 @@ let relocate ~rng ~fraction (sc : Scenario.t) =
   ( Scenario.make ~area_w:sc.Scenario.area_w ~area_h:sc.Scenario.area_h
       ~ap_pos:sc.Scenario.ap_pos ~user_pos
       ~user_session:sc.Scenario.user_session ~sessions:sc.Scenario.sessions
-      ~rate_table:sc.Scenario.rate_table ~budget:sc.Scenario.budget (),
+      ~rate_table:sc.Scenario.rate_table ~model:sc.Scenario.model
+      ~budget:sc.Scenario.budget (),
     k )
 
 (** Session zapping: [fraction] of the users switch to a uniformly random
@@ -71,7 +72,8 @@ let zap ~rng ~fraction (sc : Scenario.t) =
     ( Scenario.make ~area_w:sc.Scenario.area_w ~area_h:sc.Scenario.area_h
         ~ap_pos:sc.Scenario.ap_pos ~user_pos:sc.Scenario.user_pos
         ~user_session ~sessions:sc.Scenario.sessions
-        ~rate_table:sc.Scenario.rate_table ~budget:sc.Scenario.budget (),
+        ~rate_table:sc.Scenario.rate_table ~model:sc.Scenario.model
+        ~budget:sc.Scenario.budget (),
       k )
   end
 

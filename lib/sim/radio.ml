@@ -1,11 +1,16 @@
-(** Radio propagation for the simulator: positions + the rate-adaptation
-    table give link rates, ranges and received-signal ordering. Thin,
-    deterministic, and shared by scanning, the MAC and the protocol. *)
+(** Radio propagation for the simulator: positions + the scenario's
+    link-rate model give link rates, ranges and received-signal
+    ordering. Thin, deterministic, and shared by scanning, the MAC and
+    the protocol. Every query goes through the one {!Rate_model.link}
+    predicate, so the simulator sees exactly the links the compiled
+    problem has — for the default [Table] model this is bit-identical
+    to the historical distance-threshold path. *)
 
 open Wlan_model
 
 type t = {
   rate_table : Rate_table.t;
+  model : Rate_model.t;
   ap_pos : Point.t array;
   user_pos : Point.t array;
 }
@@ -13,6 +18,7 @@ type t = {
 let of_scenario (sc : Scenario.t) =
   {
     rate_table = sc.Scenario.rate_table;
+    model = sc.Scenario.model;
     ap_pos = sc.Scenario.ap_pos;
     user_pos = sc.Scenario.user_pos;
   }
@@ -22,16 +28,21 @@ let n_users t = Array.length t.user_pos
 
 let distance t ~ap ~user = Point.dist t.ap_pos.(ap) t.user_pos.(user)
 
+let link t ~ap ~user =
+  Rate_model.link t.model ~ap ~user ~dist:(distance t ~ap ~user)
+
 (** Link rate after rate adaptation; [None] out of range. *)
-let link_rate t ~ap ~user =
-  Rate_table.rate_at_distance t.rate_table (distance t ~ap ~user)
+let link_rate t ~ap ~user = Option.map fst (link t ~ap ~user)
 
-let in_range t ~ap ~user =
-  distance t ~ap ~user <= Rate_table.range t.rate_table
+let in_range t ~ap ~user = Option.is_some (link t ~ap ~user)
 
-(** Signal metric (higher = stronger): negative distance, matching how
+(** Signal metric (higher = stronger): the model's — negative distance
+    for [Table] models, received dBm for [Path_loss] — matching how
     geometric scenarios compile to problems. *)
-let signal t ~ap ~user = -.distance t ~ap ~user
+let signal t ~ap ~user =
+  match link t ~ap ~user with
+  | Some (_, s) -> s
+  | None -> Rate_model.dead_signal t.model ~dist:(distance t ~ap ~user)
 
 (** APs within radio range of [user]. *)
 let neighbor_aps t ~user =

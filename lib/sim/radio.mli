@@ -1,10 +1,12 @@
-(** Radio propagation for the simulator: positions plus the
-    rate-adaptation table give link rates, ranges and signal ordering. *)
+(** Radio propagation for the simulator: positions plus the scenario's
+    link-rate model give link rates, ranges and signal ordering — the
+    same {!Wlan_model.Rate_model.link} predicate the compile uses. *)
 
 open Wlan_model
 
 type t = {
   rate_table : Rate_table.t;
+  model : Rate_model.t;
   ap_pos : Point.t array;
   user_pos : Point.t array;
 }
@@ -14,12 +16,16 @@ val n_aps : t -> int
 val n_users : t -> int
 val distance : t -> ap:int -> user:int -> float
 
+(** The model's link verdict: [Some (rate_mbps, signal)] or [None]. *)
+val link : t -> ap:int -> user:int -> (float * float) option
+
 (** Link rate after rate adaptation; [None] out of range. *)
 val link_rate : t -> ap:int -> user:int -> float option
 
 val in_range : t -> ap:int -> user:int -> bool
 
-(** Signal metric (higher = stronger): negative distance. *)
+(** Signal metric (higher = stronger): the model's — negative distance
+    for [Table] models, received dBm for [Path_loss]. *)
 val signal : t -> ap:int -> user:int -> float
 
 (** APs within radio range of a user. *)

@@ -1,6 +1,6 @@
 (** Geometric WLAN deployments: AP/user positions, per-user session
-    choice, stream rates, the rate-adaptation table and the per-AP
-    multicast budget. {!to_problem} compiles a scenario into the abstract
+    choice, stream rates, the link-rate model and the per-AP multicast
+    budget. {!to_problem} compiles a scenario into the abstract
     {!Problem} instance the algorithms consume. *)
 
 type t = {
@@ -11,13 +11,22 @@ type t = {
   user_session : int array;
   sessions : Session.t array;
   rate_table : Rate_table.t;
+      (** the Table 1 ladder; for a {!Rate_model.Table} model this IS
+          the model's table ([make] keeps them coherent) *)
+  model : Rate_model.t;
   budget : float;
 }
 
 val n_aps : t -> int
 val n_users : t -> int
 
-(** @raise Invalid_argument on user/session arity or index errors. *)
+(** [model] defaults to [Rate_model.Table rate_table] — the paper's
+    compile path. Passing [~model:(Table tbl)] overrides [rate_table]
+    with [tbl] so the two fields never diverge; a [Path_loss] model
+    leaves [rate_table] as given (the simulator's MAC timing still
+    consumes it).
+    @raise Invalid_argument on user/session arity or index errors, or an
+    ill-formed model. *)
 val make :
   area_w:float ->
   area_h:float ->
@@ -26,29 +35,39 @@ val make :
   user_session:int array ->
   sessions:Session.t array ->
   ?rate_table:Rate_table.t ->
+  ?model:Rate_model.t ->
   budget:float ->
   unit ->
   t
 
+(** The model's radio range ({!Rate_model.max_range}): the radius beyond
+    which no link exists. *)
+val range : t -> float
+
 (** AP-major distance matrix (meters). *)
 val distances : t -> float array array
 
-(** Compile into a dense abstract problem by rate adaptation; installs
-    [-. distance] as the signal metric (nearest AP = strongest). The
+(** Compile into a dense abstract problem through the model's
+    {!Rate_model.link} predicate; for the default [Table] model this
+    installs [-. distance] as the signal metric (nearest AP =
+    strongest), for [Path_loss] models the received power in dBm. The
     instance allows uncovered users (random placement can strand one);
     {!uncovered_users} reports them. Allocates the O(APs × users)
     matrix — use {!to_problem_sparse} beyond paper scale. *)
 val to_problem : t -> Problem.t
 
 (** Compile into a sparse problem via a spatial bucket grid over the AP
-    positions, never allocating the dense matrix. Applies the exact
-    same rate-adaptation predicate as {!to_problem}, so both
-    compilations agree bit for bit on every link rate and signal value
-    (the differential battery in [test/test_sparse.ml] pins this).
+    positions (cell = the model's [max_range]), never allocating the
+    dense matrix. Applies the exact same link predicate as
+    {!to_problem}, so both compilations agree bit for bit on every link
+    rate and signal value (the differential battery in
+    [test/test_sparse.ml] pins this for every model family).
     O(APs + users · candidates). *)
 val to_problem_sparse : t -> Problem.t
 
-(** Users with no AP within radio range. *)
+(** Users no AP can serve, by the same link predicate the compile
+    uses — so this agrees exactly with the compiled problem's empty
+    candidate sets. *)
 val uncovered_users : t -> int list
 
 val fully_covered : t -> bool

@@ -29,6 +29,9 @@ type config = {
   session_rate_mbps : float;
   budget : float;
   rate_table : Rate_table.t;
+  rate_model : Rate_model.t option;
+      (** link-rate model; [None] means [Rate_model.Table rate_table]
+          (the paper's Table 1 compile path) *)
   ensure_coverage : bool;
       (** resample user positions (up to [max_resample] attempts each) until
           every user has at least one AP in range — the paper's BLA/MLA
@@ -51,6 +54,7 @@ let paper_default =
     session_rate_mbps = 1.;
     budget = 0.9;
     rate_table = Rate_table.default;
+    rate_model = None;
     ensure_coverage = true;
     max_resample = 10_000;
     placement = Uniform;
@@ -100,8 +104,25 @@ let generate ~rng (cfg : config) =
     Array.init cfg.n_aps (fun _ ->
         Point.random ~rng ~w:cfg.area_w ~h:cfg.area_h)
   in
-  let range = Rate_table.range cfg.rate_table in
-  let covered p = Array.exists (fun a -> Point.within range a p) ap_pos in
+  let model =
+    match cfg.rate_model with
+    | Some m -> m
+    | None -> Rate_model.Table cfg.rate_table
+  in
+  (* the exact predicate the compile applies — coverage resampling must
+     agree with the compiled problem's candidate sets *)
+  let covered u p =
+    let n = Array.length ap_pos in
+    let rec probe a =
+      a < n
+      && (match
+            Rate_model.link model ~ap:a ~user:u ~dist:(Point.dist ap_pos.(a) p)
+          with
+         | Some _ -> true
+         | None -> probe (a + 1))
+    in
+    probe 0
+  in
   let raw_user_point =
     match cfg.placement with
     | Uniform -> fun () -> Point.random ~rng ~w:cfg.area_w ~h:cfg.area_h
@@ -117,18 +138,18 @@ let generate ~rng (cfg : config) =
             (clamp 0. cfg.area_w (c.Point.x +. gaussian ~rng ~sigma:sigma_m))
             (clamp 0. cfg.area_h (c.Point.y +. gaussian ~rng ~sigma:sigma_m))
   in
-  let user_point () =
+  let user_point u =
     let p = ref (raw_user_point ()) in
     if cfg.ensure_coverage && cfg.n_aps > 0 then begin
       let attempts = ref 0 in
-      while (not (covered !p)) && !attempts < cfg.max_resample do
+      while (not (covered u !p)) && !attempts < cfg.max_resample do
         p := raw_user_point ();
         incr attempts
       done
     end;
     !p
   in
-  let user_pos = Array.init cfg.n_users (fun _ -> user_point ()) in
+  let user_pos = Array.init cfg.n_users user_point in
   let pick_session =
     match cfg.popularity with
     | Uniform_pop -> fun rng -> Random.State.int rng cfg.n_sessions
@@ -139,7 +160,8 @@ let generate ~rng (cfg : config) =
     Session.uniform ~n:cfg.n_sessions ~rate_mbps:cfg.session_rate_mbps
   in
   Scenario.make ~area_w:cfg.area_w ~area_h:cfg.area_h ~ap_pos ~user_pos
-    ~user_session ~sessions ~rate_table:cfg.rate_table ~budget:cfg.budget ()
+    ~user_session ~sessions ~rate_table:cfg.rate_table ?model:cfg.rate_model
+    ~budget:cfg.budget ()
 
 (* Per-scenario seed splitting: scenario [index] of a batch draws from its
    own RNG keyed by (seed, SPLIT_TAG, index), so any scenario can be
@@ -236,4 +258,4 @@ let city ~seed (cfg : city_config) =
   let user_session = Array.concat (List.map (fun (_, _, s) -> s) districts) in
   Scenario.make ~area_w ~area_h ~ap_pos ~user_pos ~user_session
     ~sessions:(Session.uniform ~n:d.n_sessions ~rate_mbps:d.session_rate_mbps)
-    ~rate_table:d.rate_table ~budget:d.budget ()
+    ~rate_table:d.rate_table ?model:d.rate_model ~budget:d.budget ()

@@ -24,8 +24,12 @@ type config = {
   session_rate_mbps : float;
   budget : float;
   rate_table : Rate_table.t;
+  rate_model : Rate_model.t option;
+      (** link-rate model; [None] means [Rate_model.Table rate_table]
+          (the paper's Table 1 compile path) *)
   ensure_coverage : bool;
-      (** resample user positions until every user has an AP in range *)
+      (** resample user positions until every user has an AP in range,
+          by the model's link predicate *)
   max_resample : int;
   placement : placement;
   popularity : popularity;

@@ -1,13 +1,19 @@
 (** Plain-text serialization of scenarios: save a deployment, share it,
     replay it exactly (floats round-trip bit for bit). The line-oriented
     format is documented in the implementation; it is versioned and
-    strict — unknown lines raise {!Parse_error}. *)
+    strict — unknown lines raise {!Parse_error}. Scenarios carrying a
+    {!Rate_model.Path_loss} model write version 2 (extra [model] /
+    [shadow] / [radio] / [snr] lines); [Table] scenarios write the
+    historical version-1 bytes. The reader accepts both. *)
 
 exception Parse_error of string
 
 val to_string : Scenario.t -> string
 
-(** @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input — including construction-time
+    validation failures (hostile [rates] lines, unknown session indices,
+    ill-formed models), which surface as [Parse_error] rather than raw
+    [Invalid_argument]. *)
 val of_string : string -> Scenario.t
 
 val to_file : string -> Scenario.t -> unit

@@ -504,6 +504,86 @@ let test_adapter_rejects_unsorted () =
   | Ok _ -> Alcotest.fail "wrong expansion arity"
   | Error e -> Alcotest.fail (Mcast_serve.Adapter.error_message e)
 
+(* ------------------------------------------------------------------ *)
+(* Drift tier-ladder default (regression)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Churn.run's default ladder is [Problem.distinct_rates] — the ladder
+   the instance actually uses and the same derivation the serve daemon
+   shares — not hard-wired 802.11a. On an 802.11b deployment the old
+   default snapped 11 Mbps to the alien 12-tier and drifted -1 onto 6;
+   the real ladder lands on 5.5. *)
+let test_drift_ladder_80211b () =
+  let b_tiers = Rate_table.rates Rate_table.ieee80211b in
+  Alcotest.(check (float 0.)) "11 -1 -> 5.5" 5.5
+    (Churn_script.drifted_rate ~tiers:b_tiers 11. (-1));
+  Alcotest.(check (float 0.)) "5.5 -2 -> 0 (link lost)" 0.
+    (Churn_script.drifted_rate ~tiers:b_tiers 5.5 (-3));
+  Alcotest.(check (float 0.)) "11 +1 clamps at top" 11.
+    (Churn_script.drifted_rate ~tiers:b_tiers 11. 1);
+  (* the 802.11a ladder mis-steps the same event — the bug this pins *)
+  let a_tiers = Rate_table.rates Rate_table.ieee80211a in
+  Alcotest.(check (float 0.)) "802.11a ladder would give 6" 6.
+    (Churn_script.drifted_rate ~tiers:a_tiers 11. (-1))
+
+let test_default_tiers_match_problem () =
+  let p =
+    Scenario_gen.nth_problem ~seed:41 ~index:0
+      {
+        (small_cfg ~n_aps:5 ~n_users:12) with
+        rate_table = Rate_table.ieee80211b;
+      }
+  in
+  let n_aps, n_users = Problem.dims p in
+  let rng = Random.State.make [| 41; 0xd21f7 |] in
+  let script =
+    Churn_script.random ~rng ~n_aps ~n_users
+      { Churn_script.default_gen with n_events = 30 }
+  in
+  let run tiers =
+    Wlan_sim.Churn.run ~baseline:false ?tiers
+      ~objective:Distributed.Min_total_load ~script p
+  in
+  let o = run None in
+  let o' = run (Some (Problem.distinct_rates p)) in
+  Alcotest.(check bool) "same association" true
+    (o.Wlan_sim.Churn.assoc = o'.Wlan_sim.Churn.assoc);
+  check_float_arrays "loads" o'.Wlan_sim.Churn.loads o.Wlan_sim.Churn.loads;
+  Alcotest.(check bool) "same effective topology" true
+    (Problem.rates_matrix o.Wlan_sim.Churn.effective
+    = Problem.rates_matrix o'.Wlan_sim.Churn.effective);
+  Alcotest.(check int) "same step count"
+    (List.length o'.Wlan_sim.Churn.steps)
+    (List.length o.Wlan_sim.Churn.steps)
+
+(* The churn CLI and the serve daemon both derive their ladder from
+   [Rate_model.tier_rates sc.model]; for a table model that is exactly
+   [Rate_table.rates], so the two front ends can never diverge again. *)
+let test_tier_derivation_unified () =
+  List.iter
+    (fun tbl ->
+      Alcotest.(check (list (float 0.)))
+        "tier_rates (Table t) = Rate_table.rates t" (Rate_table.rates tbl)
+        (Rate_model.tier_rates (Rate_model.Table tbl)))
+    [
+      Rate_table.ieee80211a;
+      Rate_table.ieee80211b;
+      Rate_table.scale_thresholds 0.5 Rate_table.default;
+    ];
+  let rec descending = function
+    | a :: (b :: _ as rest) -> a > b && descending rest
+    | _ -> true
+  in
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "path-loss ladder is descending" true
+        (descending (Rate_model.tier_rates m)))
+    [
+      Rate_model.friis ();
+      Rate_model.two_ray ();
+      Rate_model.log_distance ();
+    ]
+
 let test_script_validate () =
   let s =
     Churn_script.make
@@ -548,6 +628,15 @@ let () =
         [
           Alcotest.test_case "bad rates rejected on dynamic path" `Quick
             test_rates_rejected;
+        ] );
+      ( "tiers",
+        [
+          Alcotest.test_case "802.11b drift ladder" `Quick
+            test_drift_ladder_80211b;
+          Alcotest.test_case "default = Problem.distinct_rates" `Quick
+            test_default_tiers_match_problem;
+          Alcotest.test_case "churn/serve derivation unified" `Quick
+            test_tier_derivation_unified;
         ] );
       ( "script",
         [

@@ -140,7 +140,12 @@ let test_mac_rejects_empty_window () =
 let test_scanning_empty_network () =
   (* zero users: completion still fires *)
   let radio =
-    { Radio.rate_table = Rate_table.default; ap_pos = [||]; user_pos = [||] }
+    {
+      Radio.rate_table = Rate_table.default;
+      model = Rate_model.default;
+      ap_pos = [||];
+      user_pos = [||];
+    }
   in
   let e = Engine.create () in
   let done_ = ref false in

@@ -46,8 +46,9 @@ let fail_if what cond = if cond then Alcotest.failf "%s" what
 
 (* Seed-indexed random geometric case, compiled both ways. Coverage is
    deliberately not ensured (uncovered users must behave identically),
-   and placement/popularity/budget vary. *)
-let case ~seed =
+   and placement/popularity/budget vary. [rate_model] swaps the
+   link-rate model (default: the Table 1 ladder). *)
+let case ?rate_model ~seed () =
   let rng = Random.State.make [| seed; 0x59a25e |] in
   let n_aps = 1 + Random.State.int rng 14 in
   let n_users = 1 + Random.State.int rng 30 in
@@ -67,6 +68,7 @@ let case ~seed =
       n_sessions;
       budget;
       placement;
+      rate_model;
       ensure_coverage = false;
     }
   in
@@ -77,8 +79,8 @@ let case ~seed =
 (* Representation equality                                             *)
 (* ------------------------------------------------------------------ *)
 
-let reprs_agree seed =
-  let _, pd, ps = case ~seed in
+let reprs_agree ?rate_model seed =
+  let _, pd, ps = case ?rate_model ~seed () in
   fail_if "dense view flagged sparse" (Problem.is_sparse pd);
   fail_if "sparse view flagged dense" (not (Problem.is_sparse ps));
   fail_if "rate matrices differ"
@@ -149,8 +151,8 @@ let check_solutions label (a : Solution.t) (b : Solution.t) =
   if not (Float.equal a.Solution.max_load b.Solution.max_load) then
     Alcotest.failf "%s: max loads differ" label
 
-let solver_differential ~label run seed =
-  let _, pd, ps = case ~seed in
+let solver_differential ?rate_model ~label run seed =
+  let _, pd, ps = case ?rate_model ~seed () in
   check_solutions label (run pd) (run ps);
   true
 
@@ -172,7 +174,7 @@ let qcheck_bla =
     ~count:40
     QCheck.(int_range 0 10_000)
     (fun seed ->
-      let _, pd, ps = case ~seed in
+      let _, pd, ps = case ~seed () in
       (match (Bla.run pd, Bla.run ps) with
       | None, None -> ()
       | Some a, Some b -> check_solutions "BLA" a b
@@ -180,8 +182,8 @@ let qcheck_bla =
       | None, Some _ -> Alcotest.fail "BLA: sparse feasible, dense not");
       true)
 
-let distributed_differential ~scheduler ~objective seed =
-  let _, pd, ps = case ~seed in
+let distributed_differential ?rate_model ~scheduler ~objective seed =
+  let _, pd, ps = case ?rate_model ~seed () in
   let a = Distributed.run ~max_rounds:300 ~scheduler ~objective pd in
   let b = Distributed.run ~max_rounds:300 ~scheduler ~objective ps in
   if not (Association.equal a.Distributed.assoc b.Distributed.assoc) then
@@ -220,7 +222,7 @@ let qcheck_online =
   QCheck.Test.make ~name:"Online settle: dense = sparse" ~count:40
     QCheck.(int_range 0 10_000)
     (fun seed ->
-      let _, pd, ps = case ~seed in
+      let _, pd, ps = case ~seed () in
       let run p =
         let net =
           Distributed.Online.create ~objective:Distributed.Min_load_vector p
@@ -243,6 +245,63 @@ let qcheck_online =
         (Array.copy (Distributed.Online.loads na))
         (Array.copy (Distributed.Online.loads nb));
       true)
+
+(* ------------------------------------------------------------------ *)
+(* Path-loss models: dense = sparse under every model family           *)
+(* ------------------------------------------------------------------ *)
+
+(* Each Rate_model family, including a low-antenna two-ray whose d⁴
+   crossover (≈ 486 m at 5.8 GHz) falls inside the 500 m test area, so
+   the ground-reflection branch is actually exercised, and log-distance
+   with seeded shadowing (per-link split-RNG draws). The sparse compile
+   sizes its bucket grid from the model's max_range, so these pin the
+   grid against every range the models produce. *)
+let phy_models =
+  [
+    ("friis", Rate_model.friis ());
+    ("two-ray", Rate_model.two_ray ());
+    ("two-ray-low", Rate_model.two_ray ~ap_height_m:2. ~user_height_m:1. ());
+    ("log-distance", Rate_model.log_distance ());
+    ( "log-shadow",
+      Rate_model.log_distance
+        ~shadowing:{ Rate_model.sigma_db = 4.; seed = 7 }
+        () );
+  ]
+
+let qcheck_model_reprs =
+  List.map
+    (fun (name, m) ->
+      QCheck.Test.make
+        ~name:("dense and sparse compilations agree under " ^ name)
+        ~count:25
+        QCheck.(int_range 0 10_000)
+        (reprs_agree ~rate_model:m))
+    phy_models
+
+let qcheck_model_solvers =
+  List.concat_map
+    (fun (name, m) ->
+      [
+        QCheck.Test.make
+          ~name:("MLA: dense = sparse under " ^ name)
+          ~count:15
+          QCheck.(int_range 0 10_000)
+          (solver_differential ~rate_model:m ~label:("MLA/" ^ name) Mla.run);
+        QCheck.Test.make
+          ~name:("MNU: dense = sparse under " ^ name)
+          ~count:15
+          QCheck.(int_range 0 10_000)
+          (solver_differential ~rate_model:m ~label:("MNU/" ^ name) (fun p ->
+               Mnu.run p));
+        QCheck.Test.make
+          ~name:("Distributed: dense = sparse under " ^ name)
+          ~count:15
+          QCheck.(int_range 0 10_000)
+          (distributed_differential ~rate_model:m
+             ~scheduler:Distributed.Sequential
+             ~objective:Distributed.Min_load_vector);
+      ])
+    phy_models
 
 (* ------------------------------------------------------------------ *)
 (* Churn-script replays                                                *)
@@ -269,7 +328,7 @@ let check_steps (a : Wlan_sim.Churn.step list) (b : Wlan_sim.Churn.step list) =
     a b
 
 let churn_differential ~objective seed =
-  let _, pd, ps = case ~seed in
+  let _, pd, ps = case ~seed () in
   let n_aps, n_users = Problem.dims pd in
   let rng = Random.State.make [| seed; 0x5c21b7 |] in
   let script =
@@ -419,7 +478,7 @@ let qcheck_grid_permutation_invariant =
 (* ------------------------------------------------------------------ *)
 
 let shard_matches_unsharded ~objective seed =
-  let sc, pd, ps = case ~seed in
+  let sc, pd, ps = case ~seed () in
   let unsharded =
     Distributed.run ~scheduler:Distributed.Sequential ~objective ps
   in
@@ -469,6 +528,51 @@ let test_shard_fig9a_jobs () =
       let r =
         Harness.Pool.with_pool ~jobs (fun pool ->
             Shard.solve ~fanout:(Harness.Pool.run pool) ~objective ps)
+      in
+      if not (Association.equal r.Shard.assoc unsharded.Distributed.assoc)
+      then Alcotest.failf "jobs=%d: association differs from unsharded" jobs;
+      check_float_arrays
+        (Fmt.str "jobs=%d loads" jobs)
+        (Loads.ap_loads ps unsharded.Distributed.assoc)
+        (Loads.ap_loads ps r.Shard.assoc))
+    [ 1; 2; 4 ]
+
+(* Same fan-out discipline under a shadowed path-loss model: the
+   geometric plan's interaction radius comes from the model's
+   max_range (via Scenario.range), and the merged solve is identical
+   to the unsharded one at jobs 1, 2 and 4. *)
+let test_shard_phy_jobs () =
+  let model =
+    Rate_model.log_distance
+      ~shadowing:{ Rate_model.sigma_db = 4.; seed = 11 }
+      ()
+  in
+  let sc =
+    Scenario_gen.generate
+      ~rng:(Scenario_gen.scenario_rng ~seed:2008 0)
+      {
+        Scenario_gen.paper_default with
+        n_aps = 60;
+        n_users = 200;
+        rate_model = Some model;
+        ensure_coverage = false;
+      }
+  in
+  let ps = Scenario.to_problem_sparse sc in
+  let objective = Distributed.Min_load_vector in
+  let unsharded =
+    Distributed.run ~scheduler:Distributed.Sequential ~objective ps
+  in
+  let pl =
+    Shard.plan_geometric ~ap_pos:sc.Scenario.ap_pos
+      ~interaction_radius:(2. *. Scenario.range sc)
+      ps
+  in
+  List.iter
+    (fun jobs ->
+      let r =
+        Harness.Pool.with_pool ~jobs (fun pool ->
+            Shard.solve ~plan:pl ~fanout:(Harness.Pool.run pool) ~objective ps)
       in
       if not (Association.equal r.Shard.assoc unsharded.Distributed.assoc)
       then Alcotest.failf "jobs=%d: association differs from unsharded" jobs;
@@ -596,17 +700,23 @@ let qcheck_cases =
       qcheck_shard_vector;
     ]
 
+let qcheck_model_cases =
+  List.map QCheck_alcotest.to_alcotest
+    (qcheck_model_reprs @ qcheck_model_solvers)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "sparse"
     [
       ("differential", qcheck_cases);
+      ("phy_models", qcheck_model_cases);
       ( "grid",
         [ tc "exact reach and cell boundaries" test_grid_exact_boundaries ] );
       ( "shard",
         [
           tc "fig9a scale, jobs 1/2/4" test_shard_fig9a_jobs;
           tc "city 2000x40000 golden, j1 = j4" test_city_golden;
+          tc "path-loss model, jobs 1/2/4" test_shard_phy_jobs;
         ] );
       ( "validate",
         [

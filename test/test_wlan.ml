@@ -541,6 +541,233 @@ let prop_scenario_io_roundtrip =
       let sc' = Scenario_io.of_string (Scenario_io.to_string sc) in
       Scenario.to_problem sc' = Scenario.to_problem sc)
 
+(* Construction-time validation (Rate_table.make, Scenario.make,
+   Rate_model.validate) must surface as Parse_error, never as a raw
+   Invalid_argument escaping [of_string]. *)
+let test_scenario_io_parse_error_discipline () =
+  let bad s =
+    match Scenario_io.of_string s with
+    | _ -> Alcotest.failf "accepted %S" s
+    | exception Scenario_io.Parse_error _ -> ()
+    | exception Invalid_argument m ->
+        Alcotest.failf "leaked Invalid_argument %S on %S" m s
+  in
+  let preamble = "wlan-mcast-scenario 1\narea 10 10\nbudget 0.9\n" in
+  (* rates out of order: positive entries pass the line-level checks but
+     violate the Rate_table invariant *)
+  bad (preamble ^ "rates 6:200 54:35\nsessions 1\nap 1 1\nuser 2 2 0\n");
+  bad (preamble ^ "rates 54:35 48:30\nsessions 1\nap 1 1\nuser 2 2 0\n");
+  (* empty rates line *)
+  bad (preamble ^ "rates\nsessions 1\nap 1 1\nuser 2 2 0\n");
+  (* session index out of range: fails inside Scenario.make *)
+  bad (preamble ^ "rates 54:35\nsessions 1\nap 1 1\nuser 2 2 9\n");
+  (* bad model parameters: fail inside Rate_model.validate *)
+  let v2 = "wlan-mcast-scenario 2\narea 10 10\nbudget 0.9\nrates 54:35\n" in
+  let tail = "sessions 1\nap 1 1\nuser 2 2 0\n" in
+  let radio_snr = "radio 16 5.8 -85 iso iso\nsnr 54:25.5 6:6\n" in
+  bad (v2 ^ "model log-distance 0\n" ^ radio_snr ^ tail);
+  bad (v2 ^ "model two-ray 0 1.5\n" ^ radio_snr ^ tail);
+  bad (v2 ^ "model friis\nradio 16 5.8 -85 iso iso\nsnr 6:6 54:25.5\n" ^ tail)
+
+let test_scenario_io_rejects_v2_garbage () =
+  let bad s =
+    try
+      ignore (Scenario_io.of_string s);
+      Alcotest.failf "accepted %S" s
+    with Scenario_io.Parse_error _ -> ()
+  in
+  let v2 = "wlan-mcast-scenario 2\narea 10 10\nbudget 0.9\nrates 54:35\n" in
+  let tail = "sessions 1\nap 1 1\nuser 2 2 0\n" in
+  let radio_snr = "radio 16 5.8 -85 iso iso\nsnr 54:25.5 6:6\n" in
+  (* model sections need a model line *)
+  bad (v2 ^ "shadow 4 7\n" ^ tail);
+  bad (v2 ^ "radio 16 5.8 -85 iso iso\n" ^ tail);
+  bad (v2 ^ "snr 54:25.5 6:6\n" ^ tail);
+  (* a model line needs both radio and snr *)
+  bad (v2 ^ "model friis\n" ^ tail);
+  bad (v2 ^ "model friis\nradio 16 5.8 -85 iso iso\n" ^ tail);
+  bad (v2 ^ "model friis\nsnr 54:25.5 6:6\n" ^ tail);
+  (* shadowing is a log-distance concept only *)
+  bad (v2 ^ "model friis\nshadow 4 7\n" ^ radio_snr ^ tail);
+  bad (v2 ^ "model two-ray 10 1.5\nshadow 4 7\n" ^ radio_snr ^ tail);
+  (* malformed model / antenna lines *)
+  bad (v2 ^ "model warp-drive\n" ^ radio_snr ^ tail);
+  bad (v2 ^ "model friis\nradio 16 5.8 -85 par iso\nsnr 54:25.5 6:6\n" ^ tail);
+  (* model lines are a version-2 feature: under a v1 header they are
+     unrecognized lines, not silently ignored *)
+  let v1 = "wlan-mcast-scenario 1\narea 10 10\nbudget 0.9\nrates 54:35\n" in
+  bad (v1 ^ "model friis\n" ^ radio_snr ^ tail);
+  bad (v1 ^ "shadow 4 7\n" ^ tail)
+
+(* A [Table] scenario always writes the historical byte format: version-1
+   header and no model section, whatever [version] says. *)
+let test_scenario_io_v1_byte_compat () =
+  let rng = Random.State.make [| 35 |] in
+  let sc =
+    Scenario_gen.generate ~rng
+      { Scenario_gen.paper_default with n_aps = 4; n_users = 6 }
+  in
+  let s = Scenario_io.to_string sc in
+  Alcotest.(check bool) "v1 header" true
+    (String.length s >= 22 && String.sub s 0 22 = "wlan-mcast-scenario 1\n");
+  List.iter
+    (fun l ->
+      match String.split_on_char ' ' l with
+      | ("model" | "shadow" | "radio" | "snr") :: _ ->
+          Alcotest.failf "v1 text contains model line %S" l
+      | _ -> ())
+    (String.split_on_char '\n' s)
+
+(* Non-default tables survive the trip: 802.11b and a power-scaled
+   table produce the same serialized text and the same compile. *)
+let test_scenario_io_roundtrip_tables () =
+  List.iter
+    (fun table ->
+      let rng = Random.State.make [| 36 |] in
+      let sc =
+        Scenario_gen.generate ~rng
+          {
+            Scenario_gen.paper_default with
+            n_aps = 5;
+            n_users = 9;
+            rate_table = table;
+            ensure_coverage = false;
+          }
+      in
+      let s = Scenario_io.to_string sc in
+      let sc' = Scenario_io.of_string s in
+      Alcotest.(check string) "text fixed point" s (Scenario_io.to_string sc');
+      Alcotest.(check bool) "same table" true
+        (Rate_table.entries sc'.Scenario.rate_table
+        = Rate_table.entries sc.Scenario.rate_table);
+      Alcotest.(check bool) "same compile" true
+        (Scenario.to_problem sc' = Scenario.to_problem sc))
+    [
+      Rate_table.ieee80211b;
+      Rate_table.scale_thresholds 0.5 Rate_table.default;
+      Rate_table.basic_only Rate_table.default;
+    ]
+
+(* Version-2 round-trips: a random Path_loss model (family, antennas,
+   shadowing) serializes to a fixed point and reads back structurally
+   equal, and the compiled problems match bit for bit. *)
+let random_rate_model rng =
+  let antenna st =
+    if Random.State.bool st then Rate_model.Isotropic
+    else
+      Rate_model.Parabolic
+        { gain_dbi = 0.5 +. Random.State.float st 11. }
+  in
+  let radio =
+    {
+      Rate_model.default_radio with
+      tx_antenna = antenna rng;
+      rx_antenna = antenna rng;
+    }
+  in
+  match Random.State.int rng 4 with
+  | 0 -> Rate_model.friis ~radio ()
+  | 1 ->
+      Rate_model.two_ray ~radio
+        ~ap_height_m:(2. +. Random.State.float rng 10.)
+        ~user_height_m:(1. +. Random.State.float rng 2.)
+        ()
+  | 2 ->
+      Rate_model.log_distance ~radio
+        ~exponent:(2. +. Random.State.float rng 1.5)
+        ()
+  | _ ->
+      Rate_model.log_distance ~radio
+        ~exponent:(2. +. Random.State.float rng 1.5)
+        ~shadowing:
+          {
+            Rate_model.sigma_db = Random.State.float rng 6.;
+            seed = Random.State.int rng 10_000;
+          }
+        ()
+
+let prop_scenario_io_roundtrip_v2 =
+  QCheck.Test.make ~name:"v2 model serialization round-trips" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model = random_rate_model rng in
+      let sc =
+        Scenario_gen.generate ~rng
+          {
+            Scenario_gen.paper_default with
+            n_aps = 6;
+            n_users = 10;
+            n_sessions = 2;
+            rate_model = Some model;
+            ensure_coverage = false;
+          }
+      in
+      let s = Scenario_io.to_string sc in
+      let sc' = Scenario_io.of_string s in
+      s = Scenario_io.to_string sc'
+      && Rate_model.equal sc'.Scenario.model sc.Scenario.model
+      && Scenario.to_problem sc' = Scenario.to_problem sc)
+
+(* ------------------------------------------------------------------ *)
+(* Coverage boundary agreement                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Regression for the boundary predicate mismatch: [Point.within]
+   compares dist² ≤ r² while the compile compares sqrt dist² ≤ r, and
+   the two disagree on boundary links where the squaring rounds the
+   other way. Witness found by exhaustive search: at range 160 the
+   point below has dist² > 160² but sqrt dist² ≤ 160 — the compile
+   covers it, so [uncovered_users] must agree and report nothing. *)
+let test_uncovered_users_boundary_witness () =
+  let table = Rate_table.make [ { rate_mbps = 6.; threshold_m = 160. } ] in
+  let ap = Point.v 0. 0. in
+  let u = Point.v 159.99999680000002 0.03199999978666667 in
+  Alcotest.(check bool) "witness: within disagrees with sqrt" false
+    (Point.within 160. ap u);
+  Alcotest.(check bool) "witness: sqrt side is in range" true
+    (Point.dist ap u <= 160.);
+  let sc =
+    Scenario.make ~area_w:200. ~area_h:200. ~ap_pos:[| ap |] ~user_pos:[| u |]
+      ~user_session:[| 0 |]
+      ~sessions:(Session.uniform ~n:1 ~rate_mbps:1.)
+      ~rate_table:table ~budget:0.9 ()
+  in
+  let p = Scenario.to_problem sc in
+  Alcotest.(check bool) "compile covers the witness" true
+    (Problem.neighbor_aps p 0 <> []);
+  Alcotest.(check (list int)) "uncovered_users agrees with the compile" []
+    (Scenario.uncovered_users sc)
+
+(* The general invariant the witness pins: a user is uncovered exactly
+   when its compiled candidate set is empty, under dense and sparse
+   compiles alike, for table and path-loss models. *)
+let prop_uncovered_users_matches_compile =
+  QCheck.Test.make ~name:"uncovered_users = empty candidate sets" ~count:50
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let model =
+        if Random.State.bool rng then None else Some (random_rate_model rng)
+      in
+      let sc =
+        Scenario_gen.generate ~rng
+          {
+            Scenario_gen.paper_default with
+            n_aps = 4;
+            n_users = 12;
+            rate_model = model;
+            ensure_coverage = false;
+          }
+      in
+      let uncovered = Scenario.uncovered_users sc in
+      let agrees p =
+        List.init (Scenario.n_users sc) Fun.id
+        |> List.for_all (fun u ->
+               List.mem u uncovered = (Problem.neighbor_aps p u = []))
+      in
+      agrees (Scenario.to_problem sc) && agrees (Scenario.to_problem_sparse sc))
+
 (* ------------------------------------------------------------------ *)
 (* QCheck properties                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -785,6 +1012,8 @@ let qcheck_cases =
       prop_tracker_matches_eager;
       prop_tracker_churn_sequences;
       prop_scenario_io_roundtrip;
+      prop_scenario_io_roundtrip_v2;
+      prop_uncovered_users_matches_compile;
     ]
 
 let () =
@@ -854,7 +1083,13 @@ let () =
           tc "roundtrip" test_scenario_io_roundtrip;
           tc "bit-exact floats" test_scenario_io_bit_exact_floats;
           tc "rejects garbage" test_scenario_io_rejects_garbage;
+          tc "parse-error discipline" test_scenario_io_parse_error_discipline;
+          tc "rejects v2 garbage" test_scenario_io_rejects_v2_garbage;
+          tc "v1 byte compat" test_scenario_io_v1_byte_compat;
+          tc "non-default tables" test_scenario_io_roundtrip_tables;
           tc "file roundtrip" test_scenario_io_file;
         ] );
+      ( "coverage_boundary",
+        [ tc "fp witness" test_uncovered_users_boundary_witness ] );
       ("properties", qcheck_cases);
     ]
